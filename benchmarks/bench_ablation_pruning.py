@@ -1,0 +1,59 @@
+"""§III-F and §III-B ablations: pruned backward searches and prefix
+merging's traversal savings (the paper reports ~50 % fewer backward
+searches from 1-character leaf prefixes)."""
+
+import pytest
+
+from repro.analysis import format_table
+from repro.core import ErtSeedingEngine
+from repro.seeding import SeedingParams, seed_read
+
+from conftest import record_result
+
+
+def _run(index, reads, min_seed_len, use_pruning):
+    engine = ErtSeedingEngine(index)
+    params = SeedingParams(min_seed_len=min_seed_len,
+                           use_pruning=use_pruning)
+    for read in reads:
+        seed_read(engine, read, params)
+    return engine.stats
+
+
+def test_ablation_pruning_and_prefix_merging(benchmark, ert_index,
+                                             ert_pm_index, reads, params):
+    def run():
+        return {
+            "ERT, no pruning": _run(ert_index, reads, params.min_seed_len,
+                                    False),
+            "ERT, pruning": _run(ert_index, reads, params.min_seed_len,
+                                 True),
+            "ERT-PM, pruning": _run(ert_pm_index, reads,
+                                    params.min_seed_len, True),
+        }
+
+    stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = []
+    for name, s in stats.items():
+        traversals = s.backward_searches - s.merged_backward_searches
+        rows.append([name, s.forward_searches, s.backward_searches,
+                     s.pruned_backward_searches,
+                     s.merged_backward_searches, traversals])
+    table = format_table(
+        ["config", "fwd searches", "bwd searches", "pruned", "merged",
+         "bwd traversals"],
+        rows,
+        title="SIII-F / SIII-B ablation -- backward-search work "
+              "(paper: right-to-left pruning skips redundant searches; "
+              "prefix merging halves backward traversals)")
+    record_result("ablation_pruning_prefix_merging", table)
+
+    no_prune = stats["ERT, no pruning"]
+    prune = stats["ERT, pruning"]
+    pm = stats["ERT-PM, pruning"]
+    assert prune.backward_searches < no_prune.backward_searches
+    assert prune.pruned_backward_searches > 0
+    assert pm.merged_backward_searches > 0
+    # Merged pairs save full traversals.
+    pm_traversals = pm.backward_searches - pm.merged_backward_searches
+    assert pm_traversals < prune.backward_searches

@@ -1,0 +1,80 @@
+"""Fig 1: (a) the seeding roofline, (b) index size vs data needed.
+
+Paper: the FMD-index's bandwidth inefficiency caps any accelerator at
+~2.1x over the 72-thread CPU; the ERT's 4.5x data-efficiency gain moves
+the roofline up ~10x.  (b): BWA-MEM 4.3 GB index / most data per read,
+BWA-MEM2 10 GB / less, ERT 62.1 GB / least -- a monotone trade-off.
+"""
+
+import pytest
+
+from repro.analysis import (
+    CpuSystem,
+    cpu_throughput,
+    format_table,
+    measure_traffic,
+)
+from repro.core import ErtSeedingEngine
+from repro.fmindex import FmdSeedingEngine
+
+from conftest import record_result
+
+
+def _roofline(fmd_mem_index, fmd_mem2_index, ert_index, reads, params):
+    system = CpuSystem()
+    out = {}
+    for name, engine, index in (
+            ("BWA-MEM", FmdSeedingEngine(fmd_mem_index), fmd_mem_index),
+            ("BWA-MEM2", FmdSeedingEngine(fmd_mem2_index), fmd_mem2_index),
+            ("ERT", ErtSeedingEngine(ert_index), ert_index)):
+        profile = measure_traffic(engine, reads, params, name=name)
+        per_read = {phase: reqs / profile.reads
+                    for phase, (reqs, _b) in profile.by_phase.items()}
+        roofline = cpu_throughput(profile.bytes_per_read, per_read, system)
+        out[name] = (profile, roofline, index.index_bytes()["total"])
+    return out
+
+
+def test_fig01_roofline_and_index_tradeoff(benchmark, fmd_mem_index,
+                                           fmd_mem2_index, ert_index,
+                                           reads, params):
+    data = benchmark.pedantic(
+        _roofline, args=(fmd_mem_index, fmd_mem2_index, ert_index, reads,
+                         params),
+        rounds=1, iterations=1)
+
+    rows_a = []
+    for name, (profile, roofline, _size) in data.items():
+        rows_a.append([
+            name, profile.kb_per_read,
+            roofline["bandwidth_roof"] / 1e6,
+            roofline["compute_roof"] / 1e6,
+            roofline["throughput"] / 1e6,
+        ])
+    table_a = format_table(
+        ["config", "KB/read", "bandwidth roof (Mr/s)",
+         "compute roof (Mr/s)", "attainable (Mr/s)"],
+        rows_a,
+        title="Fig 1a -- seeding roofline on the Table I CPU "
+              "(paper: FMD accelerators capped at ~2.1x over CPU; "
+              "ERT raises the bandwidth roof ~4.5x)")
+    record_result("fig01a_roofline", table_a)
+
+    genome_bp = len(ert_index.reference)
+    rows_b = [[name, size / 1024, size / genome_bp,
+               profile.kb_per_read]
+              for name, (profile, _roof, size) in data.items()]
+    table_b = format_table(
+        ["config", "index KiB", "index bytes/bp", "data for seeding KB/read"],
+        rows_b,
+        title="Fig 1b -- index size vs data required for seeding "
+              "(paper: 4.3 GB / 10 GB / 62.1 GB for BWA-MEM / BWA-MEM2 / "
+              "ERT at 3 Gbp)")
+    record_result("fig01b_index_tradeoff", table_b)
+
+    # Shapes: bigger index => less data per read, higher bandwidth roof.
+    mem, mem2, ert = (data[n] for n in ("BWA-MEM", "BWA-MEM2", "ERT"))
+    assert mem[2] < mem2[2] < ert[2]
+    assert mem[0].kb_per_read > mem2[0].kb_per_read > ert[0].kb_per_read
+    # The ERT bandwidth roof must sit several times above BWA-MEM2's.
+    assert ert[1]["bandwidth_roof"] > 3 * mem2[1]["bandwidth_roof"]

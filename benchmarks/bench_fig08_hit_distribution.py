@@ -1,0 +1,34 @@
+"""Fig 8: the skewed k-mer hit distribution.
+
+Paper: very few k-mers (~0.01 %) have more than 1000 hits, yet those few
+carry dense radix trees -- the motivation for the two-level index table
+(§III-E).  Reproduced: the "k-mers with hits > X" curve on the synthetic
+genome, which must fall off sharply.
+"""
+
+from repro.analysis import format_table
+from repro.core import hit_distribution
+
+from conftest import record_result
+
+
+def test_fig08_hit_distribution(benchmark, ert_index):
+    thresholds = (1, 2, 5, 10, 20, 50, 100, 200, 500, 1000)
+    dist = benchmark.pedantic(hit_distribution, args=(ert_index, thresholds),
+                              rounds=1, iterations=1)
+    n_entries = 4 ** ert_index.config.k
+    rows = [[f">{x}", count, 100.0 * count / n_entries]
+            for x, count in dist]
+    table = format_table(
+        ["hits", "k-mers", "% of index"],
+        rows,
+        title="Fig 8 -- k-mers with more than X hits "
+              "(paper: ~0.01% of k-mers exceed 1000 hits at human scale)")
+    record_result("fig08_hit_distribution", table)
+
+    counts = dict(dist)
+    assert counts[1] > 0
+    # Heavy skew: an order-of-magnitude drop across the thresholds.
+    assert counts[50] * 10 <= counts[1]
+    tail_fraction = counts[200] / n_entries
+    assert tail_fraction < 0.01

@@ -1,0 +1,81 @@
+"""Fig 11: seeding throughput across all seven configurations.
+
+Paper bars (Mreads/s, 787 M reads, GRCh38): CPU-BWA-MEM < CPU-BWA-MEM2
+(~1.1) < CPU-ERT (2.1x over BWA-MEM2) < FPGA-ERT (3.6, i.e. 3.3x) <
+ASIC-ERT variants (baseline 2.05x over CPU-ERT, +1.23x from PM, +1.56x
+from KR; 8.1x over BWA-MEM2 overall).
+
+Reproduction: CPU bars from the roofline model over measured traffic and
+op mixes; ASIC/FPGA bars from the event-driven simulator replaying
+functional traces (the paper's own §V methodology).  Absolute Mreads/s
+differ at simulator scale; the ordering and the direction of every
+optimization must hold.
+"""
+
+import pytest
+
+from repro.accel import AcceleratorSim, capture_ert_jobs, capture_reuse_jobs
+from repro.analysis import cpu_throughput, format_table, measure_traffic
+from repro.core import ErtSeedingEngine
+from repro.fmindex import FmdSeedingEngine
+
+from conftest import record_result
+
+
+def _cpu_bar(engine, reads, params):
+    profile = measure_traffic(engine, reads, params)
+    per_read = {phase: reqs / profile.reads
+                for phase, (reqs, _b) in profile.by_phase.items()}
+    return cpu_throughput(profile.bytes_per_read, per_read)["throughput"]
+
+
+def _all_bars(fmd_mem_index, fmd_mem2_index, ert_index, ert_pm_index,
+              reads, params, asic, fpga):
+    bars = {}
+    bars["CPU-BWA-MEM"] = _cpu_bar(FmdSeedingEngine(fmd_mem_index), reads,
+                                   params)
+    bars["CPU-BWA-MEM2"] = _cpu_bar(FmdSeedingEngine(fmd_mem2_index), reads,
+                                    params)
+    bars["CPU-ERT"] = _cpu_bar(ErtSeedingEngine(ert_pm_index), reads, params)
+
+    jobs = capture_ert_jobs(ert_index, reads, params, asic.decode_cycles)
+    bars["ASIC-ERT"] = AcceleratorSim(asic).run(jobs).reads_per_second
+    jobs_pm = capture_ert_jobs(ert_pm_index, reads, params,
+                               asic.decode_cycles)
+    bars["ASIC-ERT-PM"] = AcceleratorSim(asic).run(jobs_pm).reads_per_second
+    jobs_kr, _stats = capture_reuse_jobs(ert_pm_index, reads, params,
+                                         asic.decode_cycles)
+    bars["ASIC-ERT-KR"] = AcceleratorSim(asic).run(
+        jobs_kr, n_reads=len(reads)).reads_per_second
+    fpga_jobs, _ = capture_reuse_jobs(ert_pm_index, reads, params,
+                                      fpga.decode_cycles)
+    one_fpga = AcceleratorSim(fpga).run(
+        fpga_jobs, n_reads=len(reads)).reads_per_second
+    bars["FPGA-ERT (2 FPGAs)"] = 2 * one_fpga
+    return bars
+
+
+def test_fig11_seeding_throughput(benchmark, fmd_mem_index, fmd_mem2_index,
+                                  ert_index, ert_pm_index, reads, params,
+                                  asic, fpga):
+    bars = benchmark.pedantic(
+        _all_bars, args=(fmd_mem_index, fmd_mem2_index, ert_index,
+                         ert_pm_index, reads, params, asic, fpga),
+        rounds=1, iterations=1)
+
+    base = bars["CPU-BWA-MEM2"]
+    rows = [[name, tput / 1e6, tput / base] for name, tput in bars.items()]
+    table = format_table(
+        ["config", "Mreads/s", "vs CPU-BWA-MEM2"],
+        rows,
+        title="Fig 11 -- seeding throughput "
+              "(paper: CPU-ERT 2.1x, FPGA-ERT 3.3x, ASIC-ERT up to 8.1x "
+              "over CPU-BWA-MEM2)")
+    record_result("fig11_seeding_throughput", table)
+
+    # Orderings the paper reports.
+    assert bars["CPU-BWA-MEM"] < bars["CPU-BWA-MEM2"] < bars["CPU-ERT"]
+    assert bars["CPU-ERT"] > 1.5 * bars["CPU-BWA-MEM2"]
+    assert bars["ASIC-ERT"] < bars["ASIC-ERT-PM"] <= bars["ASIC-ERT-KR"]
+    assert bars["FPGA-ERT (2 FPGAs)"] < bars["ASIC-ERT-KR"]
+    assert bars["ASIC-ERT-KR"] > bars["CPU-BWA-MEM2"]

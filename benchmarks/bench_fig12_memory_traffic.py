@@ -1,0 +1,64 @@
+"""Fig 12: memory requests per read (a) and data fetched per read (b).
+
+Paper values at human scale: BWA-MEM makes 6.7x and BWA-MEM2 4.5x more
+memory requests than ERT; ERT-KR needs 15.1 KB/read vs BWA-MEM2's
+68.5 KB.  The reproduced shape: the same ordering and large FMD-vs-ERT
+factors on the scaled workload.
+"""
+
+import pytest
+
+from repro.analysis import format_table, measure_traffic
+from repro.core import ErtSeedingEngine, KmerReuseDriver
+from repro.fmindex import FmdSeedingEngine
+
+from conftest import record_result
+
+
+def _profiles(fmd_mem_index, fmd_mem2_index, ert_index, ert_pm_index,
+              reads, params):
+    profiles = {}
+    profiles["BWA-MEM"] = measure_traffic(
+        FmdSeedingEngine(fmd_mem_index), reads, params, name="BWA-MEM")
+    profiles["BWA-MEM2"] = measure_traffic(
+        FmdSeedingEngine(fmd_mem2_index), reads, params, name="BWA-MEM2")
+    profiles["ERT"] = measure_traffic(
+        ErtSeedingEngine(ert_index), reads, params, name="ERT")
+    profiles["ERT-PM"] = measure_traffic(
+        ErtSeedingEngine(ert_pm_index), reads, params, name="ERT-PM")
+    driver = KmerReuseDriver(ErtSeedingEngine(ert_pm_index), params)
+    profiles["ERT-KR"] = measure_traffic(
+        driver.engine, reads, params, name="ERT-KR", driver=driver)
+    return profiles
+
+
+def test_fig12_memory_traffic(benchmark, fmd_mem_index, fmd_mem2_index,
+                              ert_index, ert_pm_index, reads, params):
+    profiles = benchmark.pedantic(
+        _profiles,
+        args=(fmd_mem_index, fmd_mem2_index, ert_index, ert_pm_index,
+              reads, params),
+        rounds=1, iterations=1)
+
+    ert_reqs = profiles["ERT"].requests_per_read
+    rows = []
+    for name, profile in profiles.items():
+        rows.append([name,
+                     profile.requests_per_read,
+                     profile.kb_per_read,
+                     profile.requests_per_read / ert_reqs])
+    table = format_table(
+        ["config", "mem requests/read", "KB/read", "requests vs ERT"],
+        rows,
+        title="Fig 12 -- memory requests and data fetched per read "
+              "(paper: BWA-MEM 6.7x, BWA-MEM2 4.5x more requests than ERT; "
+              "68.5 KB/read BWA-MEM2 vs 15.1 KB/read ERT-KR)")
+    record_result("fig12_memory_traffic", table)
+
+    # Shape assertions: the orderings the paper reports.
+    assert profiles["BWA-MEM"].requests_per_read > \
+        profiles["BWA-MEM2"].requests_per_read
+    assert profiles["BWA-MEM2"].requests_per_read > \
+        3 * profiles["ERT"].requests_per_read
+    assert profiles["ERT-PM"].bytes_per_read <= \
+        profiles["ERT"].bytes_per_read

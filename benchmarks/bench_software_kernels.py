@@ -1,0 +1,81 @@
+"""Wall-clock microbenchmarks of the functional kernels.
+
+Unlike the figure/table benches (which model hardware), these time the
+pure-Python prototype itself with pytest-benchmark's statistics: index
+construction, per-read seeding on each engine, tree walks, banded
+Smith-Waterman cell rate.  They exist to track regressions in the
+library and to document the prototype's own speed (the repro band notes
+it is a functional prototype, not a performance rival of bwa-mem2).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import ErtConfig, ErtSeedingEngine, build_ert
+from repro.extend import banded_smith_waterman
+from repro.fmindex import FmdIndex, suffix_array
+from repro.fmindex.engine import FmdSeedingEngine
+from repro.seeding import seed_read
+from repro.sequence import GenomeSimulator, ReadSimulator
+
+GENOME = 8_000
+
+
+@pytest.fixture(scope="module")
+def small_reference():
+    return GenomeSimulator(seed=3001).generate(GENOME)
+
+
+@pytest.fixture(scope="module")
+def small_reads(small_reference):
+    return [r.codes for r in ReadSimulator(small_reference, read_length=101,
+                                           seed=3002).simulate(20)]
+
+
+def test_kernel_suffix_array_doubling(benchmark, small_reference):
+    text = small_reference.both_strands
+    sa = benchmark(suffix_array, text)
+    assert sa.size == text.size
+
+
+def test_kernel_suffix_array_sais(benchmark, small_reference):
+    text = small_reference.both_strands[:4000]
+    sa = benchmark(suffix_array, text, "sais")
+    assert sa.size == text.size
+
+
+def test_kernel_ert_build(benchmark, small_reference):
+    config = ErtConfig(k=7, max_seed_len=151)
+    index = benchmark.pedantic(build_ert, args=(small_reference, config),
+                               rounds=3, iterations=1)
+    assert index.roots
+
+
+def test_kernel_fmd_seeding(benchmark, small_reference, small_reads, params):
+    engine = FmdSeedingEngine(FmdIndex(small_reference))
+
+    def run():
+        for read in small_reads:
+            seed_read(engine, read, params)
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+def test_kernel_ert_seeding(benchmark, small_reference, small_reads, params):
+    engine = ErtSeedingEngine(build_ert(small_reference,
+                                        ErtConfig(k=8, max_seed_len=151)))
+
+    def run():
+        for read in small_reads:
+            seed_read(engine, read, params)
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+def test_kernel_banded_sw(benchmark):
+    rng = np.random.default_rng(3003)
+    query = rng.integers(0, 4, size=101, dtype=np.uint8)
+    target = query.copy()
+    target[::17] = (target[::17] + 1) % 4
+    result = benchmark(banded_smith_waterman, query, target)
+    assert result.is_aligned

@@ -1,0 +1,41 @@
+"""Table IV: per-FPGA resource utilization (XCVU9P), with the simulated
+FPGA configuration's throughput alongside."""
+
+import pytest
+
+from repro.accel import (
+    AcceleratorSim,
+    FPGA_RESOURCES,
+    capture_reuse_jobs,
+)
+from repro.analysis import format_table
+
+from conftest import record_result
+
+
+def test_table4_fpga_resources(benchmark, ert_pm_index, reads, params,
+                               fpga):
+    jobs, _stats = capture_reuse_jobs(ert_pm_index, reads, params,
+                                      fpga.decode_cycles)
+    result = benchmark.pedantic(
+        AcceleratorSim(fpga).run, args=(jobs,),
+        kwargs={"n_reads": len(reads)}, rounds=1, iterations=1)
+
+    rows = [[name, res["lut"], res["bram"], res["uram"]]
+            for name, res in FPGA_RESOURCES.items()]
+    table = format_table(
+        ["component", "LUT %", "BRAM %", "URAM %"],
+        rows,
+        title=f"Table IV -- per-FPGA resource utilization "
+              f"({fpga.n_machines} seeding machines at "
+              f"{fpga.clock_hz / 1e6:.0f} MHz); simulated throughput "
+              f"{result.mreads_per_second:.3f} Mreads/s per FPGA")
+    record_result("table4_fpga_resources", table)
+
+    total = FPGA_RESOURCES["total"]
+    accel = FPGA_RESOURCES["seeding_accelerator_total"]
+    shell = FPGA_RESOURCES["aws_shell"]
+    for res in ("lut", "bram", "uram"):
+        assert total[res] == pytest.approx(accel[res] + shell[res], abs=0.1)
+        assert total[res] < 100.0
+    assert result.reads_per_second > 0

@@ -1,0 +1,78 @@
+"""Table V: seeding area and energy efficiency.
+
+Paper rows (KReads/s/mm^2, Reads/mJ): BWA-MEM 0.38/2.89, BWA-MEM2
+1.13/8.59, CPU-ERT 2.32/17.56, ASIC-GenAx 24.23/379.16 (literature),
+ASIC-ERT 276.36/347.51.  Reproduced with modelled CPU throughputs,
+simulated ASIC throughput, and the Table III / Table I area-power
+constants; GenAx is carried as its published row.
+"""
+
+import pytest
+
+from repro.accel import (
+    AcceleratorSim,
+    GENAX_ROW,
+    capture_reuse_jobs,
+    efficiency_row,
+)
+from repro.analysis import cpu_throughput, format_table, measure_traffic
+from repro.core import ErtSeedingEngine
+from repro.fmindex import FmdSeedingEngine
+
+from conftest import record_result
+
+
+def _cpu_bar(engine, reads, params):
+    profile = measure_traffic(engine, reads, params)
+    per_read = {phase: reqs / profile.reads
+                for phase, (reqs, _b) in profile.by_phase.items()}
+    return cpu_throughput(profile.bytes_per_read, per_read)["throughput"]
+
+
+def _rows(fmd_mem_index, fmd_mem2_index, ert_pm_index, reads, params, asic):
+    rows = [
+        efficiency_row("BWA-MEM (CPU)",
+                       _cpu_bar(FmdSeedingEngine(fmd_mem_index), reads,
+                                params), "cpu"),
+        efficiency_row("BWA-MEM2 (CPU)",
+                       _cpu_bar(FmdSeedingEngine(fmd_mem2_index), reads,
+                                params), "cpu"),
+        efficiency_row("CPU-ERT (best)",
+                       _cpu_bar(ErtSeedingEngine(ert_pm_index), reads,
+                                params), "cpu"),
+    ]
+    jobs, _stats = capture_reuse_jobs(ert_pm_index, reads, params,
+                                      asic.decode_cycles)
+    asic_tput = AcceleratorSim(asic).run(
+        jobs, n_reads=len(reads)).reads_per_second
+    rows.append(efficiency_row("ASIC-ERT (best)", asic_tput, "asic"))
+    return rows
+
+
+def test_table5_seeding_efficiency(benchmark, fmd_mem_index, fmd_mem2_index,
+                                   ert_pm_index, reads, params, asic):
+    rows = benchmark.pedantic(
+        _rows, args=(fmd_mem_index, fmd_mem2_index, ert_pm_index, reads,
+                     params, asic),
+        rounds=1, iterations=1)
+
+    printable = [[r.system, r.kreads_per_s_per_mm2, r.reads_per_mj]
+                 for r in rows]
+    printable.insert(3, [GENAX_ROW["system"] + " (published)",
+                         GENAX_ROW["kreads_per_s_per_mm2"],
+                         GENAX_ROW["reads_per_mj"]])
+    table = format_table(
+        ["system", "KReads/s/mm^2", "Reads/mJ"],
+        printable,
+        title="Table V -- seeding efficiency (paper: ASIC-ERT 11.4x the "
+              "iso-area throughput of ASIC-GenAx and ~40x the energy "
+              "efficiency of BWA-MEM2 on CPU)")
+    record_result("table5_efficiency", table)
+
+    by_name = {r.system: r for r in rows}
+    assert by_name["BWA-MEM (CPU)"].kreads_per_s_per_mm2 < \
+        by_name["BWA-MEM2 (CPU)"].kreads_per_s_per_mm2 < \
+        by_name["CPU-ERT (best)"].kreads_per_s_per_mm2 < \
+        by_name["ASIC-ERT (best)"].kreads_per_s_per_mm2
+    assert by_name["ASIC-ERT (best)"].reads_per_mj > \
+        by_name["CPU-ERT (best)"].reads_per_mj

@@ -1,0 +1,77 @@
+"""Seeding as a metagenomics kernel (the paper's intro cites Centrifuge):
+classify reads from a mixed sample by which reference genome yields the
+strongest exact-match seeds.
+
+Three synthetic "species" genomes are indexed; reads drawn from a mixture
+are assigned to the genome whose SMEMs cover the most read bases.  Exact
+seeding -- the paper's accelerated kernel -- does all the work.
+
+Run:  python examples/metagenomics_classification.py
+"""
+
+from repro.core import ErtConfig, ErtSeedingEngine, build_ert
+from repro.seeding import SeedingParams, seed_read
+from repro.sequence import GenomeSimulator, ReadSimulator
+
+
+def coverage(result, read_len: int) -> int:
+    """Read bases covered by the result's seeds (merged intervals)."""
+    spans = sorted((s.read_start, s.read_end) for s in result.all_seeds)
+    covered = 0
+    end = -1
+    for start, stop in spans:
+        if start > end:
+            covered += stop - start
+            end = stop
+        elif stop > end:
+            covered += stop - end
+            end = stop
+    return covered
+
+
+def main() -> None:
+    species = {}
+    for i, name in enumerate(("species_a", "species_b", "species_c")):
+        genome = GenomeSimulator(seed=200 + i).generate(12_000, name=name)
+        species[name] = genome
+    engines = {
+        name: ErtSeedingEngine(build_ert(genome, ErtConfig(
+            k=8, max_seed_len=151)))
+        for name, genome in species.items()
+    }
+    params = SeedingParams(min_seed_len=19)
+
+    # A mixed sample: reads from each species plus some junk.
+    sample = []
+    for i, (name, genome) in enumerate(species.items()):
+        reads = ReadSimulator(genome, read_length=101,
+                              error_read_fraction=0.3,
+                              seed=300 + i).simulate(30)
+        sample.extend((read, name) for read in reads)
+
+    confusion = {name: {other: 0 for other in list(species) + ["unclassified"]}
+                 for name in species}
+    for read, truth in sample:
+        scores = {name: coverage(seed_read(engine, read.codes, params), 101)
+                  for name, engine in engines.items()}
+        best_name, best_score = max(scores.items(), key=lambda kv: kv[1])
+        runner_up = max(v for k, v in scores.items() if k != best_name)
+        if best_score < 30 or best_score - runner_up < 10:
+            confusion[truth]["unclassified"] += 1
+        else:
+            confusion[truth][best_name] += 1
+
+    print(f"{'truth':12s}" + "".join(f"{n:>12s}" for n in species)
+          + f"{'unclassified':>14s}")
+    correct = total = 0
+    for truth, row in confusion.items():
+        print(f"{truth:12s}" + "".join(f"{row[n]:12d}" for n in species)
+              + f"{row['unclassified']:14d}")
+        correct += row[truth]
+        total += sum(row.values())
+    print(f"\nclassification accuracy: {100 * correct / total:.1f}% "
+          f"({correct}/{total})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+"""A worked SMEM example in the spirit of the paper's Fig 2: forward
+search from a pivot, left-extension points, backward searches, and the
+containment filter -- narrated step by step on a tiny reference.
+
+Run:  python examples/smem_walkthrough.py
+"""
+
+from repro.core import ErtConfig, ErtSeedingEngine, build_ert
+from repro.seeding import SeedingParams, generate_smems
+from repro.seeding.oracle import OracleEngine, count_occurrences
+from repro.sequence import Reference
+from repro.sequence.alphabet import decode, encode
+
+
+def main() -> None:
+    # A reference whose repeats create interesting LEP structure, plus a
+    # read stitched from two reference segments (like Fig 2's example,
+    # where the read's halves match different reference locations).
+    reference = Reference.from_string(
+        "CAATCTCAGGTTTACGATCTCAGTCGGCCAATCTACCCGTTACCAATCTC",
+        name="toy")
+    read = encode("CAATCTCAGTC")
+    text = decode(reference.both_strands)
+    print(f"reference: {reference.sequence}")
+    print(f"read     : {decode(read)}\n")
+
+    oracle = OracleEngine(reference)
+
+    print("=== forward search from pivot 0 (SII-A step 1) ===")
+    forward = oracle.forward_search(read, 0)
+    prev = None
+    for length in range(1, forward.end + 1):
+        sub = decode(read[:length])
+        count = count_occurrences(text, sub)
+        marker = ""
+        if prev is not None and count != prev:
+            marker = f"  <-- hit set changed: LEP at {length - 1}"
+        print(f"  {sub:12s} occurs {count:2d}x{marker}")
+        prev = count
+    print(f"forward match ends at {forward.end}; "
+          f"LEPs = {list(forward.leps)} (the end is always an LEP)\n")
+
+    print("=== backward searches, right-to-left (SII-A step 2) ===")
+    mems = []
+    for p in reversed(forward.leps):
+        s = oracle.backward_search(read, p)
+        mems.append((s, p))
+        print(f"  segment ending at {p:2d}: extends left to {s:2d} "
+              f"-> MEM {decode(read[s:p])!r}")
+
+    print(f"\n=== next pivot = end of the longest match ({forward.end}) ===")
+    x = forward.end
+    while x < int(read.size):
+        fs = oracle.forward_search(read, x)
+        if fs.is_empty:
+            x += 1
+            continue
+        print(f"  pivot {x}: match {decode(read[x:fs.end])!r}, "
+              f"LEPs {list(fs.leps)}")
+        for p in reversed(fs.leps):
+            s = oracle.backward_search(read, p)
+            mems.append((s, p))
+            print(f"    backward from {p:2d}: MEM {decode(read[s:p])!r} "
+                  f"[{s}, {p})")
+        x = fs.end
+
+    print("\n=== containment filter (SMEMs) ===")
+    kept = []
+    for s, p in sorted(set(mems)):
+        contained = any(s2 <= s and p <= p2 for s2, p2 in mems
+                        if (s2, p2) != (s, p))
+        verdict = "discarded (contained)" if contained else "SMEM"
+        if not contained:
+            kept.append((s, p))
+        print(f"  [{s:2d}, {p:2d}) {decode(read[s:p]):12s} {verdict}")
+
+    print("\n=== the ERT finds exactly the same SMEMs ===")
+    ert = ErtSeedingEngine(build_ert(reference, ErtConfig(
+        k=3, max_seed_len=40)))
+    smems = generate_smems(ert, read, SeedingParams(min_seed_len=1))
+    print(f"  ERT SMEMs: {[(m.start, m.end) for m in smems]}")
+    assert sorted(kept) == [(m.start, m.end) for m in sorted(smems)]
+    print("  identical to the walkthrough above.")
+
+
+if __name__ == "__main__":
+    main()

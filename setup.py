@@ -1,0 +1,10 @@
+"""Shim so legacy (non-PEP-517) editable installs work offline.
+
+The execution environment has setuptools but no `wheel` package, so
+``pip install -e . --no-use-pep517 --no-build-isolation`` is the supported
+install path; all metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,49 @@
+"""The seeding accelerator: cycle-level simulator, configs, energy model.
+
+Methodology follows the paper's own (§V): the functional ERT engine emits
+per-read memory traces; the simulator replays them against a model of the
+accelerator -- parallel seeding machines holding Index Fetcher / Tree
+Walker / Leaf Gatherer processing elements with fine-grained context
+switching, fed by a channelized DRAM model (standing in for Ramulator).
+
+* :mod:`repro.accel.config` -- ASIC and FPGA configurations plus the
+  Table III / Table IV area, power and resource constants;
+* :mod:`repro.accel.ops` -- turning functional runs into per-job op
+  streams (compute burst + memory access);
+* :mod:`repro.accel.machine` -- the event-driven simulator;
+* :mod:`repro.accel.energy` -- area/energy efficiency accounting
+  (Table V).
+"""
+
+from repro.accel.config import (
+    ASIC_AREA_MM2,
+    ASIC_POWER_W,
+    FPGA_RESOURCES,
+    AcceleratorConfig,
+    asic_config,
+    fpga_config,
+)
+from repro.accel.energy import EfficiencyRow, GENAX_ROW, efficiency_row
+from repro.accel.host import HostConfig, HostModel, result_record_bytes
+from repro.accel.machine import AcceleratorSim, SimResult
+from repro.accel.ops import Op, capture_ert_jobs, capture_reuse_jobs
+
+__all__ = [
+    "ASIC_AREA_MM2",
+    "ASIC_POWER_W",
+    "AcceleratorConfig",
+    "AcceleratorSim",
+    "EfficiencyRow",
+    "FPGA_RESOURCES",
+    "GENAX_ROW",
+    "HostConfig",
+    "HostModel",
+    "Op",
+    "result_record_bytes",
+    "SimResult",
+    "asic_config",
+    "capture_ert_jobs",
+    "capture_reuse_jobs",
+    "efficiency_row",
+    "fpga_config",
+]

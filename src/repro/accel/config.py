@@ -1,0 +1,147 @@
+"""Accelerator configurations and the paper's published constants.
+
+Two simulator configurations mirror the paper's evaluation targets:
+
+* **ASIC** (Table III): 16 seeding machines at 1.38 GHz (limited by the
+  context-memory SRAMs), 256 total contexts, 8 DRAM channels;
+* **FPGA** (Table IV, AWS F1 XCVU9P): 8 seeding machines per FPGA at
+  250 MHz, 4 DRAM channels per FPGA with the degraded effective
+  per-channel bandwidth the paper measured (~5-8 GB/s of a 17 GB/s peak,
+  because the third-party memory controller cannot prioritize same-page
+  ERT accesses).
+
+Per-PE decode latencies come from §IV-B: UNIFORM nodes take three cycles
+(parallel XOR + priority encoders); leaf reference comparisons likewise;
+DIVERGE decode and index/table lookups are simpler.  The MicroBlaze
+softcore alternative the paper rejected (10-16x slower node decode) is
+retained as a configuration for the ablation bench.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.memsim.dram import DramConfig
+
+#: Table III -- ASIC area breakdown (mm^2, 28 nm).
+ASIC_AREA_MM2 = {
+    "seeding_machines": 9.598,
+    "kmer_sorter_metadata": 14.94,
+    "kmer_reuse_cache": 6.99,
+    "total": 31.53,
+}
+
+#: Table III -- power breakdown (mW).
+ASIC_POWER_W = {
+    "seeding_machines": 11.768,
+    "kmer_sorter_metadata": 9.594,
+    "kmer_reuse_cache": 1.527,
+    "accelerator_total": 22.889,
+    "dram": 2.186,
+    "system_total": 25.075,
+}
+
+#: Table IV -- per-FPGA resource utilization (percent of XCVU9P).
+FPGA_RESOURCES = {
+    "index_fu": {"lut": 0.32, "bram": 0.0, "uram": 0.0},
+    "walker_fu": {"lut": 13.76, "bram": 0.0, "uram": 0.0},
+    "leaf_gathering_fu": {"lut": 3.36, "bram": 0.0, "uram": 0.0},
+    "command_queues": {"lut": 1.92, "bram": 6.08, "uram": 0.0},
+    "context_memories": {"lut": 0.0, "bram": 15.04, "uram": 3.28},
+    "control_processors": {"lut": 0.56, "bram": 0.0, "uram": 0.0},
+    "data_fetcher": {"lut": 3.68, "bram": 0.0, "uram": 0.0},
+    "smem_result_buffer": {"lut": 0.0, "bram": 0.0, "uram": 13.28},
+    "misc": {"lut": 1.12, "bram": 0.0, "uram": 0.0},
+    "seeding_machines_total": {"lut": 24.72, "bram": 21.12, "uram": 16.56},
+    "kmer_sorter": {"lut": 1.95, "bram": 0.3, "uram": 26.77},
+    "kmer_reuse_cache": {"lut": 10.04, "bram": 5.0, "uram": 18.33},
+    "seeding_accelerator_total": {"lut": 36.71, "bram": 26.42, "uram": 61.66},
+    "aws_shell": {"lut": 19.74, "bram": 12.63, "uram": 12.20},
+    "total": {"lut": 56.45, "bram": 39.05, "uram": 73.86},
+}
+
+#: Which PE class serves each traffic phase (§IV-B).
+PHASE_TO_PE = {
+    "index_lookup": "index",
+    "table_lookup": "index",
+    "prefix_count": "index",
+    "tree_root": "walker",
+    "tree_traversal": "walker",
+    "ref_fetch": "walker",
+    "leaf_gather": "gather",
+    "occ_lookup": "walker",
+    "sa_lookup": "walker",
+}
+
+
+@dataclass(frozen=True)
+class AcceleratorConfig:
+    """One simulator target."""
+
+    name: str
+    clock_hz: float
+    n_machines: int
+    contexts_per_machine: int
+    #: PEs per machine by class (Table IV: 1 index FU, 3 walkers, 2 leaf
+    #: gatherers per seeding machine).
+    pes: "dict[str, int]" = field(default_factory=lambda: {
+        "index": 1, "walker": 3, "gather": 2})
+    #: Decode/compute cycles per op by phase (§IV-B).
+    decode_cycles: "dict[str, int]" = field(default_factory=lambda: {
+        "index_lookup": 1,
+        "table_lookup": 1,
+        "prefix_count": 1,
+        "tree_root": 2,
+        "tree_traversal": 3,
+        "ref_fetch": 3,
+        "leaf_gather": 2,
+        "occ_lookup": 4,
+        "sa_lookup": 2,
+    })
+    dram: DramConfig = field(default_factory=DramConfig)
+
+    def __post_init__(self) -> None:
+        if self.n_machines < 1 or self.contexts_per_machine < 1:
+            raise ValueError("need at least one machine and context")
+        if self.clock_hz <= 0:
+            raise ValueError("clock must be positive")
+
+    def scaled(self, **changes) -> "AcceleratorConfig":
+        """A copy with some fields replaced (ablation sweeps)."""
+        from dataclasses import replace
+        return replace(self, **changes)
+
+
+def asic_config(contexts_total: int = 256) -> AcceleratorConfig:
+    """The paper's ASIC: 16 seeding machines, 1.38 GHz, 8 DRAM channels."""
+    machines = 16
+    return AcceleratorConfig(
+        name="asic",
+        clock_hz=1.38e9,
+        n_machines=machines,
+        contexts_per_machine=max(1, contexts_total // machines),
+        dram=DramConfig(channels=8, banks_per_channel=16, row_size=2048,
+                        t_hit=55, t_miss=110, cycles_per_line=5),
+    )
+
+
+def fpga_config() -> AcceleratorConfig:
+    """One AWS F1 FPGA: 8 seeding machines, 250 MHz, 4 DRAM channels with
+    the degraded effective bandwidth of §VI (the f1.4xlarge has two such
+    FPGAs; Fig 11's FPGA-ERT bar is the two-FPGA aggregate)."""
+    return AcceleratorConfig(
+        name="fpga",
+        clock_hz=250e6,
+        n_machines=8,
+        contexts_per_machine=16,
+        dram=DramConfig(channels=4, banks_per_channel=16, row_size=2048,
+                        t_hit=40, t_miss=75, cycles_per_line=3),
+    )
+
+
+def microblaze_config() -> AcceleratorConfig:
+    """The rejected softcore design point (§IV-A): node decode is 10-16x
+    slower than the custom decoder, everything else equal to the FPGA."""
+    base = fpga_config()
+    slow = {phase: cycles * 12 for phase, cycles in base.decode_cycles.items()}
+    return base.scaled(name="fpga-microblaze", decode_cycles=slow)

@@ -1,0 +1,56 @@
+"""Area and energy efficiency accounting (paper Table V).
+
+Throughput comes from the simulator (ASIC) or the roofline CPU model;
+area and power are constants: the paper's Table III synthesis results for
+the ASIC, a two-socket Skylake estimate for the CPU baselines (Table I
+hardware; package power as RAPL would report it), and ASIC-GenAx's
+published efficiency row for the literature comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.accel.config import ASIC_AREA_MM2, ASIC_POWER_W
+
+#: Two-socket Intel Xeon Platinum 8124M: approximate combined die area of
+#: the 18-core Skylake-SP XCC dies and a package power in line with the
+#: paper's RAPL measurements.
+CPU_AREA_MM2 = 1300.0
+CPU_POWER_W = 175.0
+
+#: ASIC-GenAx (Fujiki et al., ISCA 2018) as published in Table V.
+GENAX_ROW = {"system": "ASIC-GenAx", "kreads_per_s_per_mm2": 24.23,
+             "reads_per_mj": 379.16}
+
+
+@dataclass(frozen=True)
+class EfficiencyRow:
+    """One Table V row."""
+
+    system: str
+    reads_per_second: float
+    area_mm2: float
+    power_w: float
+
+    @property
+    def kreads_per_s_per_mm2(self) -> float:
+        return self.reads_per_second / 1e3 / self.area_mm2
+
+    @property
+    def reads_per_mj(self) -> float:
+        """Reads per millijoule: throughput over power (1 W = 1 mJ/ms)."""
+        return self.reads_per_second / (self.power_w * 1e3)
+
+
+def efficiency_row(system: str, reads_per_second: float,
+                   kind: str) -> EfficiencyRow:
+    """Build a Table V row for ``kind`` in {"cpu", "asic"}."""
+    if kind == "cpu":
+        return EfficiencyRow(system, reads_per_second,
+                             CPU_AREA_MM2, CPU_POWER_W)
+    if kind == "asic":
+        return EfficiencyRow(system, reads_per_second,
+                             ASIC_AREA_MM2["total"],
+                             ASIC_POWER_W["system_total"])
+    raise ValueError(f"unknown system kind {kind!r}")

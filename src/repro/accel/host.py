@@ -1,0 +1,117 @@
+"""Host-accelerator runtime model (§IV-E).
+
+The paper's runtime streams 64-byte encoded read records to accelerator
+DRAM over PCIe (XDMA), kicks off seeding via a control register, then
+pulls SMEM results back -- with *double buffering* so PCIe transfers
+overlap computation, and an overflow path for reads whose SMEMs exceed
+the on-chip result buffer (flushed to an accelerator-DRAM region and
+post-processed on the host).
+
+This module turns those mechanisms into a throughput model so the paper's
+end-to-end system numbers (Table VI) account for I/O, not just kernels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class HostConfig:
+    """Host-side transfer and post-processing parameters.
+
+    Defaults: PCIe Gen3 x16 with realistic DMA efficiency (~12 GB/s),
+    the paper's 64 B per encoded read, an average result record, and the
+    2.3 KB-per-machine SMEM result buffer of Table IV.
+    """
+
+    pcie_bytes_per_s: float = 12e9
+    read_record_bytes: int = 64
+    result_bytes_per_read: int = 128
+    result_buffer_bytes: int = 8 * 2355  # 2.3 KB x 8 machines
+    #: Host-side cost to post-process one overflowing read (seconds).
+    overflow_host_seconds: float = 2e-6
+    batch_size: int = 100_000
+    double_buffered: bool = True
+
+    def __post_init__(self) -> None:
+        if self.pcie_bytes_per_s <= 0 or self.batch_size <= 0:
+            raise ValueError("bandwidth and batch size must be positive")
+
+
+@dataclass(frozen=True)
+class HostRunEstimate:
+    """Modelled end-to-end run of one read set through the runtime."""
+
+    n_reads: int
+    seconds: float
+    compute_seconds: float
+    transfer_seconds: float
+    overflow_reads: int
+
+    @property
+    def reads_per_second(self) -> float:
+        return self.n_reads / self.seconds if self.seconds > 0 else float("inf")
+
+    @property
+    def overlap_efficiency(self) -> float:
+        """1.0 means transfers are fully hidden behind compute."""
+        serial = self.compute_seconds + self.transfer_seconds
+        return serial / self.seconds if self.seconds > 0 else 1.0
+
+
+class HostModel:
+    """Throughput model of the §IV-E runtime."""
+
+    def __init__(self, config: "HostConfig | None" = None) -> None:
+        self.config = config or HostConfig()
+
+    def transfer_seconds(self, n_reads: int) -> float:
+        cfg = self.config
+        per_read = cfg.read_record_bytes + cfg.result_bytes_per_read
+        return n_reads * per_read / cfg.pcie_bytes_per_s
+
+    def estimate(self, n_reads: int, accel_reads_per_s: float,
+                 result_bytes_by_read: "list[int] | None" = None
+                 ) -> HostRunEstimate:
+        """Model a full run.
+
+        ``result_bytes_by_read`` (e.g. measured seed-record sizes) drives
+        the overflow count: a read whose results exceed its share of the
+        on-chip buffer takes the §IV-E overflow path and costs host time.
+        """
+        cfg = self.config
+        compute = n_reads / accel_reads_per_s
+        transfer = self.transfer_seconds(n_reads)
+        overflow_reads = 0
+        overflow_cost = 0.0
+        if result_bytes_by_read:
+            threshold = cfg.result_buffer_bytes
+            overflow_reads = sum(1 for size in result_bytes_by_read
+                                 if size > threshold)
+            scale = n_reads / len(result_bytes_by_read)
+            overflow_cost = (overflow_reads * scale
+                             * cfg.overflow_host_seconds)
+            overflow_reads = int(overflow_reads * scale)
+
+        n_batches = max(1, -(-n_reads // cfg.batch_size))
+        if cfg.double_buffered:
+            # Steady state: each batch costs max(compute, transfer); the
+            # pipeline fill adds one leading transfer and the drain one
+            # trailing one.
+            per_batch = max(compute, transfer) / n_batches
+            total = per_batch * n_batches + transfer / n_batches
+        else:
+            total = compute + transfer
+        total += overflow_cost
+        return HostRunEstimate(n_reads=n_reads, seconds=total,
+                               compute_seconds=compute,
+                               transfer_seconds=transfer,
+                               overflow_reads=overflow_reads)
+
+
+def result_record_bytes(result) -> int:
+    """Size of one read's seed records in the paper's output format
+    (seed start, length, hit list): 8 B per seed + 4 B per hit."""
+    seeds = result.all_seeds
+    return sum(8 + 4 * len(seed.hits) for seed in seeds)

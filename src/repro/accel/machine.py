@@ -1,0 +1,153 @@
+"""Event-driven cycle model of the seeding accelerator (§IV).
+
+Each *job* (a read's seeding, or a k-mer group's backward extensions in
+the reuse configuration) occupies one hardware context on a seeding
+machine.  Processing an op takes a compute burst on a processing element
+of the op's class (Index Fetcher / Tree Walker / Leaf Gatherer, §IV-B)
+followed by a DRAM access; the context then sleeps until the memory
+response arrives, and the PE immediately switches to another ready
+context -- the fine-grained multiplexing that hides DRAM latency (§II-C,
+§IV-A).
+
+Jobs are distributed round-robin across seeding machines; each machine
+admits at most ``contexts_per_machine`` jobs at a time.  DRAM is the
+shared :class:`~repro.memsim.dram.DramModel`: row-buffer-aware latency
+plus a per-channel bandwidth constraint.
+
+One modelling simplification: a dispatched op commits to the earliest-free
+PE of its class at dispatch time, so DRAM requests can be issued slightly
+out of event order.  At the simulated concurrency (hundreds of contexts)
+the effect on aggregate cycle counts is negligible.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+from repro.accel.config import PHASE_TO_PE, AcceleratorConfig
+from repro.accel.ops import Op
+from repro.memsim.dram import DramModel
+
+
+@dataclass
+class SimResult:
+    """Outcome of one simulation run."""
+
+    config_name: str
+    jobs: int
+    reads: int
+    cycles: int
+    clock_hz: float
+    dram_row_hits: int
+    dram_page_opens: int
+    pe_busy_cycles: "dict[str, int]"
+
+    @property
+    def seconds(self) -> float:
+        return self.cycles / self.clock_hz
+
+    @property
+    def reads_per_second(self) -> float:
+        if self.cycles == 0:
+            return float("inf")
+        return self.reads / self.seconds
+
+    @property
+    def mreads_per_second(self) -> float:
+        return self.reads_per_second / 1e6
+
+    def pe_utilization(self, pe_counts: "dict[str, int]") -> "dict[str, float]":
+        if self.cycles == 0:
+            return {cls: 0.0 for cls in pe_counts}
+        return {cls: self.pe_busy_cycles.get(cls, 0)
+                / (self.cycles * count)
+                for cls, count in pe_counts.items()}
+
+
+class _Machine:
+    """One seeding machine: PE pools per class plus a context limit."""
+
+    def __init__(self, config: AcceleratorConfig) -> None:
+        self.contexts = config.contexts_per_machine
+        self.in_flight = 0
+        self.pending: "list[list[Op]]" = []
+        # Earliest-free timestamps per PE, one heap per class.
+        self.pe_free = {cls: [0] * count
+                        for cls, count in config.pes.items()}
+        for heap in self.pe_free.values():
+            heapq.heapify(heap)
+
+
+class AcceleratorSim:
+    """Replay op-stream jobs against one accelerator configuration."""
+
+    def __init__(self, config: AcceleratorConfig) -> None:
+        self.config = config
+
+    def run(self, jobs: "list[list[Op]]",
+            n_reads: "int | None" = None) -> SimResult:
+        """Simulate ``jobs``; ``n_reads`` (defaults to the job count)
+        converts cycles into reads/s for reuse-mode job lists where jobs
+        are not one-per-read."""
+        config = self.config
+        dram = DramModel(config.dram)
+        machines = [_Machine(config) for _ in range(config.n_machines)]
+        busy: "dict[str, int]" = {cls: 0 for cls in config.pes}
+
+        jobs = [job for job in jobs if job]
+        for i, job in enumerate(jobs):
+            machines[i % config.n_machines].pending.append(job)
+
+        # Event heap: (time, seq, machine_idx, job, op_idx).
+        events: "list" = []
+        seq = 0
+        finish = 0
+
+        def admit(machine_idx: int, now: int) -> None:
+            nonlocal seq
+            machine = machines[machine_idx]
+            while machine.pending and machine.in_flight < machine.contexts:
+                job = machine.pending.pop(0)
+                machine.in_flight += 1
+                heapq.heappush(events, (now, seq, machine_idx, job, 0))
+                seq += 1
+
+        def dispatch(machine_idx: int, job: "list[Op]", op_idx: int,
+                     now: int) -> None:
+            nonlocal seq, finish
+            machine = machines[machine_idx]
+            op = job[op_idx]
+            cls = PHASE_TO_PE.get(op.phase, "walker")
+            heap = machine.pe_free[cls]
+            pe_ready = heapq.heappop(heap)
+            start = max(now, pe_ready)
+            end = start + op.cycles
+            heapq.heappush(heap, end)
+            busy[cls] += op.cycles
+            done = dram.access_latency(op.addr, end, op.phase)
+            finish = max(finish, done)
+            if op_idx + 1 < len(job):
+                heapq.heappush(events, (done, seq, machine_idx, job,
+                                        op_idx + 1))
+                seq += 1
+            else:
+                machine.in_flight -= 1
+                admit(machine_idx, done)
+
+        for idx in range(config.n_machines):
+            admit(idx, 0)
+        while events:
+            now, _seq, machine_idx, job, op_idx = heapq.heappop(events)
+            dispatch(machine_idx, job, op_idx, now)
+
+        return SimResult(
+            config_name=config.name,
+            jobs=len(jobs),
+            reads=n_reads if n_reads is not None else len(jobs),
+            cycles=int(finish),
+            clock_hz=config.clock_hz,
+            dram_row_hits=dram.total.row_hits,
+            dram_page_opens=dram.total.page_opens,
+            pe_busy_cycles=busy,
+        )

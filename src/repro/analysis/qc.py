@@ -1,0 +1,96 @@
+"""Seeding quality-control summaries.
+
+Production pipelines monitor their seeding stage: how many seeds per
+read, how much of each read the seeds cover, how repetitive the hits
+are.  :func:`seeding_qc` aggregates those per-batch statistics from the
+same :class:`~repro.seeding.types.SeedingResult` objects every engine
+emits, so QC is engine-independent (and therefore also a cheap way to
+notice a mis-built index: the distributions shift immediately).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class SeedingQc:
+    """Aggregate seeding statistics over one read batch."""
+
+    reads: int = 0
+    reads_without_seeds: int = 0
+    total_seeds: int = 0
+    seed_length_histogram: "dict[int, int]" = field(default_factory=dict)
+    seeds_per_read_histogram: "dict[int, int]" = field(default_factory=dict)
+    coverage_sum: float = 0.0
+    unique_hit_seeds: int = 0
+    repetitive_seeds: int = 0
+
+    @property
+    def mean_seeds_per_read(self) -> float:
+        return self.total_seeds / self.reads if self.reads else 0.0
+
+    @property
+    def mean_read_coverage(self) -> float:
+        """Mean fraction of read bases covered by at least one seed."""
+        return self.coverage_sum / self.reads if self.reads else 0.0
+
+    @property
+    def unique_fraction(self) -> float:
+        """Fraction of seeds with exactly one hit (mappability proxy)."""
+        return (self.unique_hit_seeds / self.total_seeds
+                if self.total_seeds else 0.0)
+
+    def format(self) -> str:
+        lines = [
+            f"reads                : {self.reads}",
+            f"reads without seeds  : {self.reads_without_seeds}",
+            f"seeds/read (mean)    : {self.mean_seeds_per_read:.2f}",
+            f"read coverage (mean) : {self.mean_read_coverage * 100:.1f}%",
+            f"unique-hit seeds     : {self.unique_fraction * 100:.1f}%",
+            f"repetitive seeds     : {self.repetitive_seeds}",
+        ]
+        return "\n".join(lines)
+
+
+def _covered_fraction(result, read_len: int) -> float:
+    spans = sorted((s.read_start, s.read_end) for s in result.all_seeds)
+    if not spans or read_len == 0:
+        return 0.0
+    covered = 0
+    end = -1
+    for start, stop in spans:
+        if start > end:
+            covered += stop - start
+            end = stop
+        elif stop > end:
+            covered += stop - end
+            end = stop
+    return covered / read_len
+
+
+def seeding_qc(results, read_lengths,
+               repetitive_threshold: int = 100) -> SeedingQc:
+    """Aggregate QC over parallel lists of results and read lengths."""
+    results = list(results)
+    read_lengths = list(read_lengths)
+    if len(results) != len(read_lengths):
+        raise ValueError("one read length per result required")
+    qc = SeedingQc(reads=len(results))
+    for result, read_len in zip(results, read_lengths):
+        seeds = result.all_seeds
+        if not seeds:
+            qc.reads_without_seeds += 1
+        qc.total_seeds += len(seeds)
+        bucket = len(seeds)
+        qc.seeds_per_read_histogram[bucket] = \
+            qc.seeds_per_read_histogram.get(bucket, 0) + 1
+        qc.coverage_sum += _covered_fraction(result, read_len)
+        for seed in seeds:
+            qc.seed_length_histogram[seed.length] = \
+                qc.seed_length_histogram.get(seed.length, 0) + 1
+            if seed.hit_count == 1:
+                qc.unique_hit_seeds += 1
+            if seed.hit_count >= repetitive_threshold:
+                qc.repetitive_seeds += 1
+    return qc

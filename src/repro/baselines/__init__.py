@@ -1,0 +1,13 @@
+"""Non-FMD seeding baselines from the paper's related work (§VII).
+
+The paper contrasts SMEM seeding with the hash-table seeding family
+(mrsFAST, Hobbes, minimap-style): hash every fixed-length k-mer, look up
+each read window, and rely on downstream filtration to tame the seed
+flood.  :mod:`repro.baselines.hashseed` implements that family so the
+"fewer seeds prior to seed-extension" argument can be *measured* instead
+of cited.
+"""
+
+from repro.baselines.hashseed import HashSeedIndex, HashSeeder
+
+__all__ = ["HashSeedIndex", "HashSeeder"]

@@ -1,0 +1,284 @@
+"""Command-line interface: the workflows a downstream user actually runs.
+
+``ert-repro`` mirrors the shape of real aligner tooling (index once,
+align many times):
+
+* ``simulate-genome`` / ``simulate-reads`` -- produce FASTA/FASTQ inputs;
+* ``build-index``  -- construct an ERT and persist it (.npz);
+* ``index-stats``  -- census of a persisted index (Fig 8 / §III-A3 data);
+* ``seed``         -- three-round seeding, one TSV line per seed;
+* ``align``        -- full pipeline to SAM.
+
+Every subcommand is a thin shell over the library API, so everything it
+does is equally available programmatically.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core import (
+    ErtConfig,
+    ErtSeedingEngine,
+    build_ert,
+    hit_distribution,
+    index_census,
+    load_ert,
+    save_ert,
+)
+from repro.extend import ReadAligner, write_sam
+from repro.seeding import SeedingParams, seed_read
+from repro.sequence import (
+    GenomeSimulator,
+    ReadSimulator,
+    read_fasta,
+    read_fastq,
+    write_fasta,
+    write_fastq,
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="ert-repro",
+        description="Enumerated Radix Tree seeding (ISCA 2021 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sim_g = sub.add_parser("simulate-genome",
+                           help="generate a repeat-rich synthetic genome")
+    sim_g.add_argument("--length", type=int, required=True)
+    sim_g.add_argument("--seed", type=int, default=0)
+    sim_g.add_argument("--name", default="synthetic")
+    sim_g.add_argument("--out", required=True)
+
+    sim_r = sub.add_parser("simulate-reads",
+                           help="sample Illumina-like reads from a FASTA")
+    sim_r.add_argument("--reference", required=True)
+    sim_r.add_argument("--count", type=int, required=True)
+    sim_r.add_argument("--read-length", type=int, default=101)
+    sim_r.add_argument("--error-fraction", type=float, default=0.2)
+    sim_r.add_argument("--seed", type=int, default=0)
+    sim_r.add_argument("--out", required=True)
+
+    build = sub.add_parser("build-index", help="build and persist an ERT")
+    build.add_argument("--reference", required=True)
+    build.add_argument("--k", type=int, default=8)
+    build.add_argument("--max-seed-len", type=int, default=151)
+    build.add_argument("--table-threshold", type=int, default=256)
+    build.add_argument("--table-x", type=int, default=4)
+    build.add_argument("--prefix-merging", action="store_true")
+    build.add_argument("--out", required=True)
+
+    stats = sub.add_parser("index-stats", help="census of a persisted ERT")
+    stats.add_argument("--index", required=True)
+
+    seed = sub.add_parser("seed", help="seed reads, one TSV line per seed")
+    seed.add_argument("--index", required=True)
+    seed.add_argument("--reads", required=True)
+    seed.add_argument("--min-seed-len", type=int, default=19)
+    seed.add_argument("--max-hits", type=int, default=500)
+    seed.add_argument("--out", default="-")
+
+    align = sub.add_parser("align", help="align reads to SAM")
+    align.add_argument("--index", required=True)
+    align.add_argument("--reads", required=True)
+    align.add_argument("--min-seed-len", type=int, default=19)
+    align.add_argument("--out", required=True)
+
+    align_pe = sub.add_parser(
+        "align-pe", help="align interleaved paired-end reads to SAM")
+    align_pe.add_argument("--index", required=True)
+    align_pe.add_argument("--reads", required=True,
+                          help="interleaved FASTQ (mate1, mate2, ...)")
+    align_pe.add_argument("--min-seed-len", type=int, default=19)
+    align_pe.add_argument("--insert-mean", type=int, default=350)
+    align_pe.add_argument("--insert-sd", type=int, default=50)
+    align_pe.add_argument("--out", required=True)
+
+    compare = sub.add_parser(
+        "compare",
+        help="measure FMD vs ERT memory traffic on a read set (Fig 12)")
+    compare.add_argument("--reference", required=True)
+    compare.add_argument("--reads", required=True)
+    compare.add_argument("--k", type=int, default=8)
+    compare.add_argument("--min-seed-len", type=int, default=19)
+    return parser
+
+
+def _cmd_simulate_genome(args) -> int:
+    reference = GenomeSimulator(seed=args.seed).generate(args.length,
+                                                         name=args.name)
+    write_fasta(args.out, [reference])
+    print(f"wrote {len(reference):,} bp to {args.out}")
+    return 0
+
+
+def _cmd_simulate_reads(args) -> int:
+    reference = read_fasta(args.reference)[0]
+    sim = ReadSimulator(reference, read_length=args.read_length,
+                        error_read_fraction=args.error_fraction,
+                        seed=args.seed)
+    reads = sim.simulate(args.count)
+    write_fastq(args.out, reads)
+    print(f"wrote {len(reads)} reads to {args.out}")
+    return 0
+
+
+def _cmd_build_index(args) -> int:
+    reference = read_fasta(args.reference)[0]
+    config = ErtConfig(k=args.k, max_seed_len=args.max_seed_len,
+                       table_threshold=args.table_threshold,
+                       table_x=args.table_x,
+                       prefix_merging=args.prefix_merging)
+    index = build_ert(reference, config)
+    save_ert(index, args.out)
+    sizes = index.index_bytes()
+    print(f"built ERT (k={args.k}) over {len(reference):,} bp: "
+          f"{sizes['total'] / 1024:.0f} KiB "
+          f"(table {sizes['index_table'] / 1024:.0f}, "
+          f"trees {sizes['trees'] / 1024:.0f}); saved to {args.out}")
+    return 0
+
+
+def _cmd_index_stats(args) -> int:
+    index = load_ert(args.index)
+    census = index_census(index)
+    print(f"reference      : {index.reference.name} "
+          f"({len(index.reference):,} bp)")
+    print(f"k              : {index.config.k} "
+          f"({census.n_entries:,} entries)")
+    print(f"entry kinds    : EMPTY {census.empty:,} "
+          f"({census.empty_fraction * 100:.1f}%), LEAF {census.leaf:,}, "
+          f"TREE {census.tree:,}, TABLE {census.table:,}")
+    for key, value in census.index_bytes.items():
+        print(f"bytes[{key:13s}]: {value:,}")
+    print("hit distribution (k-mers with > X hits):")
+    for threshold, count in hit_distribution(index):
+        print(f"  > {threshold:5d}: {count:,}")
+    return 0
+
+
+def _open_out(path):
+    return sys.stdout if path == "-" else open(path, "w")
+
+
+def _cmd_seed(args) -> int:
+    index = load_ert(args.index)
+    engine = ErtSeedingEngine(index)
+    reads = read_fastq(args.reads)
+    params = SeedingParams(min_seed_len=args.min_seed_len,
+                           max_hits_per_seed=args.max_hits)
+    out = _open_out(args.out)
+    try:
+        out.write("read\tstart\tlength\thit_count\thits\n")
+        n_seeds = 0
+        for read in reads:
+            result = seed_read(engine, read.codes, params)
+            for seed in result.all_seeds:
+                hits = ",".join(str(h) for h in seed.hits)
+                out.write(f"{read.name}\t{seed.read_start}\t{seed.length}"
+                          f"\t{seed.hit_count}\t{hits}\n")
+                n_seeds += 1
+    finally:
+        if out is not sys.stdout:
+            out.close()
+    print(f"seeded {len(reads)} reads -> {n_seeds} seeds",
+          file=sys.stderr)
+    return 0
+
+
+def _cmd_align(args) -> int:
+    index = load_ert(args.index)
+    reference = index.reference
+    aligner = ReadAligner(reference, ErtSeedingEngine(index),
+                          SeedingParams(min_seed_len=args.min_seed_len))
+    reads = read_fastq(args.reads)
+    records = [aligner.align_sam(r.codes, r.name, r.quality) for r in reads]
+    write_sam(args.out, reference, records)
+    mapped = sum(1 for rec in records if not rec.flag & 0x4)
+    print(f"aligned {len(reads)} reads ({mapped} mapped) -> {args.out}",
+          file=sys.stderr)
+    return 0
+
+
+def _cmd_align_pe(args) -> int:
+    from repro.extend import PairedAligner
+
+    index = load_ert(args.index)
+    reference = index.reference
+    aligner = PairedAligner(
+        ReadAligner(reference, ErtSeedingEngine(index),
+                    SeedingParams(min_seed_len=args.min_seed_len)),
+        insert_mean=args.insert_mean, insert_sd=args.insert_sd)
+    reads = read_fastq(args.reads)
+    if len(reads) % 2:
+        raise SystemExit("interleaved FASTQ must hold an even read count")
+    records = []
+    for first, second in zip(reads[::2], reads[1::2]):
+        name = first.name.split("/")[0]
+        records.extend(aligner.align_pair(first.codes, second.codes, name,
+                                          first.quality, second.quality))
+    write_sam(args.out, reference, records)
+    proper = sum(1 for rec in records if rec.flag & 0x2) // 2
+    print(f"aligned {len(reads) // 2} pairs ({proper} proper) -> "
+          f"{args.out}", file=sys.stderr)
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    from repro.analysis import format_table, measure_traffic
+
+    reference = read_fasta(args.reference)[0]
+    reads = [r.codes for r in read_fastq(args.reads)]
+    params = SeedingParams(min_seed_len=args.min_seed_len)
+    rows = []
+    profiles = {}
+    for name, engine, size in _comparison_engines(reference, args.k):
+        profile = measure_traffic(engine, reads, params, name=name)
+        profiles[name] = profile
+        rows.append([name, profile.requests_per_read, profile.kb_per_read,
+                     size / 1024])
+    print(format_table(
+        ["config", "mem requests/read", "KB/read", "index KiB"], rows,
+        title=f"FMD vs ERT memory traffic over {len(reads)} reads "
+              f"(paper Fig 12)"))
+    ratio = (profiles["BWA-MEM2 (FMD)"].bytes_per_read
+             / profiles["ERT"].bytes_per_read)
+    print(f"\nERT data-efficiency gain: {ratio:.1f}x "
+          f"(paper: 4.5x at human scale)")
+    return 0
+
+
+def _comparison_engines(reference, k):
+    from repro.fmindex import FmdConfig, FmdIndex, FmdSeedingEngine
+
+    fmd_index = FmdIndex(reference, FmdConfig.bwa_mem2())
+    ert_index = build_ert(reference, ErtConfig(k=k, max_seed_len=151))
+    return [
+        ("BWA-MEM2 (FMD)", FmdSeedingEngine(fmd_index),
+         fmd_index.index_bytes()["total"]),
+        ("ERT", ErtSeedingEngine(ert_index),
+         ert_index.index_bytes()["total"]),
+    ]
+
+
+_COMMANDS = {
+    "simulate-genome": _cmd_simulate_genome,
+    "simulate-reads": _cmd_simulate_reads,
+    "build-index": _cmd_build_index,
+    "index-stats": _cmd_index_stats,
+    "seed": _cmd_seed,
+    "align": _cmd_align,
+    "align-pe": _cmd_align_pe,
+    "compare": _cmd_compare,
+}
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

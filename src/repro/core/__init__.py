@@ -1,0 +1,47 @@
+"""The paper's primary contribution: Enumerated Radix Trees (ERT).
+
+* :mod:`repro.core.config` -- :class:`ErtConfig`, all structural knobs
+  (k-mer length, multi-level tables, layout policy, prefix merging).
+* :mod:`repro.core.nodes` -- the four node kinds of the customized radix
+  tree (UNIFORM / DIVERGE / LEAF, with EMPTY arising as absent branches).
+* :mod:`repro.core.builder` -- index construction (§III-A3).
+* :mod:`repro.core.index` -- the built :class:`ErtIndex`: enumerated index
+  table with LEP bits, per-k-mer radix trees, byte-accurate regions.
+* :mod:`repro.core.layout` -- node serialization and the tiled layout
+  (§III-D), plus DFS/BFS alternatives for the ablation bench.
+* :mod:`repro.core.walker` -- forward walks, leaf gathering, traffic tags.
+* :mod:`repro.core.engine` -- :class:`ErtSeedingEngine` (with the §III-B
+  prefix-merged backward sweep and the §III-F pruning inherited from the
+  canonical algorithm).
+* :mod:`repro.core.reuse` -- the §III-C k-mer-reuse batched pipeline.
+* :mod:`repro.core.census` -- hit-distribution and tree-shape statistics
+  (paper Figs 8 and the §III-E depth claims).
+"""
+
+from repro.core.builder import build_ert
+from repro.core.census import depth_census, hit_distribution, index_census
+from repro.core.config import ErtConfig, LayoutPolicy
+from repro.core.engine import ErtSeedingEngine
+from repro.core.index import EntryKind, ErtIndex
+from repro.core.io import load_ert, save_ert
+from repro.core.reuse import KmerReuseDriver, ReuseStats
+from repro.core.serialize import decode_tree, encode_tree, trees_equal
+
+__all__ = [
+    "EntryKind",
+    "ErtConfig",
+    "ErtIndex",
+    "ErtSeedingEngine",
+    "KmerReuseDriver",
+    "LayoutPolicy",
+    "ReuseStats",
+    "build_ert",
+    "decode_tree",
+    "depth_census",
+    "encode_tree",
+    "hit_distribution",
+    "index_census",
+    "load_ert",
+    "save_ert",
+    "trees_equal",
+]

@@ -1,0 +1,144 @@
+"""On-disk ERT index format: build once, reuse across alignment runs.
+
+The paper stresses that ERT construction (~1 h for GRCh38) happens once
+per reference and is amortized over many runs (§III-A3); that only works
+with a persistent format.  The format here is a single ``.npz`` archive:
+
+* the reference (name + 2-bit codes),
+* the structural config as JSON,
+* the four entry-metadata arrays,
+* the 1..k prefix-count tables,
+* every radix tree as its *serialized blob* (the wire format of
+  :mod:`repro.core.serialize`), concatenated exactly as the trees region
+  lays them out, plus the per-k-mer base offsets.
+
+Loading decodes the blobs back into node objects and rebuilds the jump
+tables (cheap relative to tree construction).
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+from repro.core.builder import _build_jump_table
+from repro.core.config import ErtConfig, LayoutPolicy
+from repro.core.index import EntryKind, ErtIndex
+from repro.core.layout import LayoutStats, layout_tree
+from repro.core.serialize import decode_tree, encode_tree
+from repro.sequence.reference import Reference
+
+FORMAT_VERSION = 1
+
+
+class IndexFormatError(ValueError):
+    """Raised when an index file cannot be understood."""
+
+
+def save_ert(index: ErtIndex, path) -> None:
+    """Write an ERT index to ``path`` (a ``.npz`` archive)."""
+    codes = sorted(index.roots)
+    blobs = bytearray(index.trees_region.size)
+    bases = np.empty(len(codes), dtype=np.int64)
+    sizes = np.empty(len(codes), dtype=np.int64)
+    for i, code in enumerate(codes):
+        root = index.roots[code]
+        base = index.tree_base[code]
+        blob_size = _blob_size(index, code)
+        encoded = encode_tree(root, blob_size,
+                              index.config.prefix_merging)
+        blobs[base:base + blob_size] = encoded
+        bases[i] = base
+        sizes[i] = blob_size
+    meta = {
+        "format_version": FORMAT_VERSION,
+        "reference_name": index.reference.name,
+        "config": {
+            "k": index.config.k,
+            "max_seed_len": index.config.max_seed_len,
+            "table_threshold": index.config.table_threshold,
+            "table_x": index.config.table_x,
+            "multilevel": index.config.multilevel,
+            "layout": index.config.layout.value,
+            "prefix_merging": index.config.prefix_merging,
+        },
+    }
+    arrays = {
+        "meta_json": np.frombuffer(json.dumps(meta).encode(),
+                                   dtype=np.uint8),
+        "reference": index.reference.codes,
+        "entry_kind": index.entry_kind,
+        "lep_bits": index.lep_bits,
+        "prefix_len": index.prefix_len,
+        "kmer_count": index.kmer_count,
+        "tree_codes": np.array(codes, dtype=np.int64),
+        "tree_bases": bases,
+        "tree_sizes": sizes,
+        "tree_blobs": np.frombuffer(bytes(blobs), dtype=np.uint8),
+    }
+    for length, counts in enumerate(index.prefix_counts, start=1):
+        arrays[f"prefix_counts_{length}"] = counts
+    np.savez_compressed(path, **arrays)
+
+
+def _blob_size(index: ErtIndex, code: int) -> int:
+    """Size of one tree's blob: distance to the next base (or region end)."""
+    base = index.tree_base[code]
+    larger = [b for b in index.tree_base.values() if b > base]
+    end = min(larger) if larger else index.trees_region.size
+    return end - base
+
+
+def load_ert(path) -> ErtIndex:
+    """Load an ERT index written by :func:`save_ert`."""
+    with np.load(path) as archive:
+        meta = json.loads(bytes(archive["meta_json"].tobytes()).decode())
+        if meta.get("format_version") != FORMAT_VERSION:
+            raise IndexFormatError(
+                f"unsupported index format {meta.get('format_version')!r}")
+        cfg = meta["config"]
+        config = ErtConfig(
+            k=cfg["k"], max_seed_len=cfg["max_seed_len"],
+            table_threshold=cfg["table_threshold"], table_x=cfg["table_x"],
+            multilevel=cfg["multilevel"],
+            layout=LayoutPolicy(cfg["layout"]),
+            prefix_merging=cfg["prefix_merging"])
+        reference = Reference(name=meta["reference_name"],
+                              codes=archive["reference"].copy())
+        entry_kind = archive["entry_kind"].copy()
+        lep_bits = archive["lep_bits"].copy()
+        prefix_len = archive["prefix_len"].copy()
+        kmer_count = archive["kmer_count"].copy()
+        prefix_counts = [archive[f"prefix_counts_{length}"].copy()
+                         for length in range(1, config.k + 1)]
+        blobs = archive["tree_blobs"].tobytes()
+        codes = archive["tree_codes"]
+        bases = archive["tree_bases"]
+        sizes = archive["tree_sizes"]
+
+    roots = {}
+    tree_base = {}
+    layout_stats = LayoutStats()
+    trees_bytes = 0
+    for code, base, size in zip(codes.tolist(), bases.tolist(),
+                                sizes.tolist()):
+        root = decode_tree(blobs[base:base + size])
+        # Re-lay-out to rebuild layout statistics; offsets are identical
+        # because the layout is a pure function of the tree shape.
+        layout_tree(root, config, layout_stats)
+        roots[code] = root
+        tree_base[code] = base
+        trees_bytes = max(trees_bytes, base + size)
+
+    tables = {code: None for code in codes.tolist()
+              if entry_kind[code] == EntryKind.TABLE}
+    index = ErtIndex(
+        reference=reference, config=config, entry_kind=entry_kind,
+        lep_bits=lep_bits, prefix_len=prefix_len, kmer_count=kmer_count,
+        roots=roots, tree_base=tree_base, tables=tables,
+        prefix_counts=prefix_counts, trees_bytes=trees_bytes,
+        layout_stats=layout_stats)
+    for code in tables:
+        index.tables[code] = _build_jump_table(index, code)
+    return index

@@ -1,0 +1,153 @@
+"""Node serialization and the cache-friendly tiled layout (§III-D).
+
+Node byte sizes follow the concrete wire format of
+:mod:`repro.core.serialize` (which every tree round-trips through):
+
+* ``DIVERGE``: 5 B header (kind, child bitmap, ended count, uint24 count)
+  + 4 B per child pointer + 4 B per ended hit;
+* ``UNIFORM``: 9 B header (kind, run length, count, child pointer)
+  + packed run characters (4 per byte);
+* ``LEAF``:    3 B header (kind, position count) + 4 B per occurrence
+  (+ 2-bit prefix characters and a validity bitmap under prefix merging).
+
+Three serialization orders are provided.  ``TILED`` packs each subtree
+greedily into 64 B tiles so a root-to-leaf walk touches few cache lines
+(the paper reports ~3 nodes traversed per 64 B, 50 % utilization);
+``DFS``/``BFS`` are the comparison orders for the ablation benchmark.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.core.config import ErtConfig, LayoutPolicy
+from repro.core.nodes import DivergeNode, LeafNode, Node, UniformNode
+
+TILE = 64
+
+
+def node_size(node: Node, prefix_merging: bool) -> int:
+    """Serialized size of one node in bytes (see repro.core.serialize)."""
+    if isinstance(node, DivergeNode):
+        return 5 + 4 * len(node.children) + 4 * len(node.ended)
+    if isinstance(node, UniformNode):
+        return 9 + (int(node.chars.size) + 3) // 4
+    if isinstance(node, LeafNode):
+        npos = len(node.positions)
+        size = 3 + 4 * npos
+        if prefix_merging:
+            size += (npos + 3) // 4 + (npos + 7) // 8
+        return size
+    raise TypeError(f"unknown node type {type(node)!r}")
+
+
+@dataclass
+class LayoutStats:
+    """Aggregate statistics of a serialized forest."""
+
+    total_bytes: int = 0
+    n_nodes: int = 0
+    n_tiles: int = 0
+    nodes_per_tile: "dict[int, int]" = field(default_factory=dict)
+
+    @property
+    def mean_nodes_per_tile(self) -> float:
+        if not self.nodes_per_tile:
+            return 0.0
+        total = sum(tile * count for tile, count in self.nodes_per_tile.items())
+        return total / sum(self.nodes_per_tile.values())
+
+
+def _assign_sizes(root: Node, prefix_merging: bool) -> "list[Node]":
+    """Compute ``nbytes`` for every node; return all nodes (preorder)."""
+    nodes = []
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        node.nbytes = node_size(node, prefix_merging)
+        nodes.append(node)
+        stack.extend(reversed(node.children_nodes()))
+    return nodes
+
+
+def _dfs_offsets(root: Node) -> int:
+    offset = 0
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        node.offset = offset
+        offset += node.nbytes
+        stack.extend(reversed(node.children_nodes()))
+    return offset
+
+
+def _bfs_offsets(root: Node) -> int:
+    offset = 0
+    queue = deque([root])
+    while queue:
+        node = queue.popleft()
+        node.offset = offset
+        offset += node.nbytes
+        queue.extend(node.children_nodes())
+    return offset
+
+
+def _tiled_offsets(root: Node) -> int:
+    """Greedy tile packing: open a tile, pull the pending subtree roots'
+    descendants breadth-first while they fit, spill the rest to later
+    tiles.  A node larger than a tile gets a tile run of its own."""
+    offset = 0
+    pending = deque([root])
+    placed = set()
+    while pending:
+        start = pending.popleft()
+        if id(start) in placed:
+            continue
+        # Open a fresh tile at the next tile boundary.
+        offset = (offset + TILE - 1) & ~(TILE - 1)
+        room = TILE
+        local = deque([start])
+        first_in_tile = True
+        while local:
+            node = local.popleft()
+            if id(node) in placed:
+                continue
+            if node.nbytes <= room or first_in_tile:
+                node.offset = offset
+                offset += node.nbytes
+                room -= node.nbytes
+                placed.add(id(node))
+                first_in_tile = False
+                local.extend(node.children_nodes())
+                if room <= 0:
+                    break
+            else:
+                pending.append(node)
+        pending.extend(local)
+    return offset
+
+
+def layout_tree(root: Node, config: ErtConfig,
+                stats: "LayoutStats | None" = None) -> int:
+    """Assign byte offsets to every node of one tree; return the blob size
+    (rounded up to a whole tile so distinct trees never share a line)."""
+    nodes = _assign_sizes(root, config.prefix_merging)
+    if config.layout is LayoutPolicy.DFS:
+        size = _dfs_offsets(root)
+    elif config.layout is LayoutPolicy.BFS:
+        size = _bfs_offsets(root)
+    else:
+        size = _tiled_offsets(root)
+    size = (size + TILE - 1) & ~(TILE - 1)
+    if stats is not None:
+        stats.total_bytes += size
+        stats.n_nodes += len(nodes)
+        tiles = {}
+        for node in nodes:
+            tiles.setdefault(node.offset // TILE, 0)
+            tiles[node.offset // TILE] += 1
+        stats.n_tiles += len(tiles)
+        for count in tiles.values():
+            stats.nodes_per_tile[count] = stats.nodes_per_tile.get(count, 0) + 1
+    return size

@@ -1,0 +1,178 @@
+"""Colinear seed chaining (the ~10 % "chaining" stage of §II).
+
+Seeds whose read and reference coordinates are consistent with one
+alignment are grouped into chains, BWA-MEM style: anchors are sorted by
+reference position and greedily merged into an existing chain when they
+are colinear with its last anchor within a gap limit; otherwise they open
+a new chain.  Chains are scored by their covered read length and returned
+best-first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.seeding.types import Seed
+
+
+@dataclass(frozen=True)
+class Anchor:
+    """One (read position, reference position, length) seed occurrence."""
+
+    read_start: int
+    ref_start: int
+    length: int
+
+    @property
+    def read_end(self) -> int:
+        return self.read_start + self.length
+
+    @property
+    def ref_end(self) -> int:
+        return self.ref_start + self.length
+
+    @property
+    def diagonal(self) -> int:
+        return self.ref_start - self.read_start
+
+
+@dataclass
+class Chain:
+    """A colinear group of anchors."""
+
+    anchors: "list[Anchor]" = field(default_factory=list)
+
+    @property
+    def score(self) -> int:
+        """Read-bases covered by the chain's anchors (merged intervals)."""
+        spans = sorted((a.read_start, a.read_end) for a in self.anchors)
+        covered = 0
+        cur_start, cur_end = spans[0]
+        for start, end in spans[1:]:
+            if start > cur_end:
+                covered += cur_end - cur_start
+                cur_start, cur_end = start, end
+            else:
+                cur_end = max(cur_end, end)
+        return covered + cur_end - cur_start
+
+    @property
+    def ref_start(self) -> int:
+        return min(a.ref_start for a in self.anchors)
+
+    @property
+    def read_start(self) -> int:
+        return min(a.read_start for a in self.anchors)
+
+    @property
+    def diagonal(self) -> int:
+        return self.anchors[0].diagonal
+
+    def can_absorb(self, anchor: Anchor, max_gap: int,
+                   max_diag_drift: int) -> bool:
+        last = self.anchors[-1]
+        if abs(anchor.diagonal - last.diagonal) > max_diag_drift:
+            return False
+        if anchor.ref_start < last.ref_start:
+            return False
+        gap = anchor.ref_start - last.ref_end
+        read_gap = anchor.read_start - last.read_end
+        return gap <= max_gap and read_gap <= max_gap
+
+
+def _anchors_of(seeds: "list[Seed]") -> "list[Anchor]":
+    anchors = [Anchor(seed.read_start, hit, seed.length)
+               for seed in seeds for hit in seed.hits]
+    anchors.sort(key=lambda a: (a.ref_start, a.read_start))
+    return anchors
+
+
+def chain_seeds(seeds: "list[Seed]", max_gap: int = 100,
+                max_diag_drift: int = 20,
+                max_chains: "int | None" = 50,
+                method: str = "greedy") -> "list[Chain]":
+    """Group seed hits into colinear chains, best score first.
+
+    Seeds whose hit lists were truncated by the locate limit contribute
+    nothing (BWA similarly skips ultra-repetitive seeds before chaining).
+    ``method`` is ``"greedy"`` (append to the first compatible open
+    chain) or ``"dp"`` (BWA-MEM-style best-predecessor scoring, which
+    tolerates spurious anchors better).
+    """
+    if method == "dp":
+        return chain_seeds_dp(seeds, max_gap=max_gap,
+                              max_chains=max_chains)
+    if method != "greedy":
+        raise ValueError(f"unknown chaining method {method!r}")
+    anchors = _anchors_of(seeds)
+    chains: "list[Chain]" = []
+    for anchor in anchors:
+        for chain in chains:
+            if chain.can_absorb(anchor, max_gap, max_diag_drift):
+                chain.anchors.append(anchor)
+                break
+        else:
+            chains.append(Chain(anchors=[anchor]))
+    chains.sort(key=lambda c: (-c.score, c.ref_start))
+    if max_chains is not None:
+        chains = chains[:max_chains]
+    return chains
+
+
+def chain_seeds_dp(seeds: "list[Seed]", max_gap: int = 100,
+                   gap_weight: float = 0.5,
+                   max_chains: "int | None" = 50) -> "list[Chain]":
+    """Dynamic-programming chaining (the minimap/BWA-MEM formulation).
+
+    Anchors are sorted by reference position; each anchor's score is its
+    length plus the best predecessor score minus a gap penalty of
+    ``gap_weight * |ref_gap - read_gap|`` (diagonal drift).  Chains are
+    recovered by walking best-predecessor links from unclaimed chain
+    tails in score order -- each anchor belongs to exactly one chain.
+    """
+    anchors = _anchors_of(seeds)
+    n = len(anchors)
+    if n == 0:
+        return []
+    scores = [float(a.length) for a in anchors]
+    parent = [-1] * n
+    longest = max(a.length for a in anchors)
+    for i, anchor in enumerate(anchors):
+        # Predecessors end before this anchor starts, within the window.
+        for j in range(i - 1, -1, -1):
+            prev = anchors[j]
+            if anchor.ref_start - prev.ref_start > max_gap + longest:
+                break  # sorted by ref_start: everything earlier is farther
+            if anchor.ref_start - prev.ref_end > max_gap:
+                continue
+            if prev.ref_end > anchor.ref_start or \
+                    prev.read_end > anchor.read_start:
+                continue
+            ref_gap = anchor.ref_start - prev.ref_end
+            read_gap = anchor.read_start - prev.read_end
+            if read_gap > max_gap:
+                continue
+            penalty = gap_weight * abs(ref_gap - read_gap)
+            candidate = scores[j] + anchor.length - penalty
+            if candidate > scores[i]:
+                scores[i] = candidate
+                parent[i] = j
+    # Extract disjoint chains, best tail first.
+    order = sorted(range(n), key=lambda i: -scores[i])
+    claimed = [False] * n
+    chains = []
+    for tail in order:
+        if claimed[tail]:
+            continue
+        members = []
+        node = tail
+        while node != -1 and not claimed[node]:
+            claimed[node] = True
+            members.append(anchors[node])
+            node = parent[node]
+        members.reverse()
+        chains.append(Chain(anchors=members))
+    chains.sort(key=lambda c: (-c.score, c.ref_start))
+    if max_chains is not None:
+        chains = chains[:max_chains]
+    return chains

@@ -1,0 +1,219 @@
+"""The complete read-alignment pipeline: seed -> chain -> extend.
+
+:class:`ReadAligner` runs the paper's whole flow over any seeding engine:
+three-round seeding (:mod:`repro.seeding.algorithm`), colinear chaining,
+then banded extension of the best chains to pick the final alignment
+position.  Besides producing alignments, it records the per-read extension
+workload that the SeedEx model (Table VI) consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.extend.chaining import Chain, chain_seeds
+from repro.extend.sam import (
+    SamRecord,
+    mapped_record,
+    mapq_from_scores,
+    unmapped_record,
+)
+from repro.extend.seedex import ExtensionWorkload
+from repro.extend.smith_waterman import (
+    ScoringScheme,
+    banded_edit_distance,
+    banded_smith_waterman,
+)
+from repro.extend.traceback import banded_sw_traceback
+from repro.seeding.algorithm import SeedingParams, seed_read
+from repro.seeding.engine import SeedingEngine
+from repro.sequence.alphabet import decode
+from repro.sequence.reference import Reference, Strand
+
+
+@dataclass(frozen=True)
+class Alignment:
+    """A read's final alignment (forward-strand coordinates)."""
+
+    read_name: str
+    strand: Strand
+    position: int
+    score: int
+    chain_score: int
+
+    @property
+    def is_mapped(self) -> bool:
+        return self.score > 0
+
+
+@dataclass
+class AlignmentOutcome:
+    """Alignment plus the measured extension workload for one read."""
+
+    alignment: "Alignment | None"
+    n_seeds: int
+    n_chains: int
+    workload: ExtensionWorkload
+
+
+class ReadAligner:
+    """Seed-and-extend aligner over any :class:`SeedingEngine`."""
+
+    def __init__(self, reference: Reference, engine: SeedingEngine,
+                 params: "SeedingParams | None" = None,
+                 scheme: "ScoringScheme | None" = None,
+                 band: int = 41, max_chains_extended: int = 8,
+                 edit_check_first: bool = True) -> None:
+        self.reference = reference
+        self.engine = engine
+        self.params = params or SeedingParams()
+        self.scheme = scheme or ScoringScheme()
+        self.band = band
+        self.max_chains_extended = max_chains_extended
+        self.edit_check_first = edit_check_first
+        self._text = reference.both_strands
+
+    def align(self, read: np.ndarray,
+              name: str = "read") -> AlignmentOutcome:
+        """Align one read; returns the best-scoring chain extension."""
+        result = seed_read(self.engine, read, self.params)
+        seeds = result.all_seeds
+        chains = chain_seeds(seeds)
+        workload = ExtensionWorkload()
+        best: "Alignment | None" = None
+        for chain in chains[:self.max_chains_extended]:
+            candidate = self._extend_chain(read, chain, name, workload)
+            if candidate is None:
+                continue
+            if best is None or candidate.score > best.score:
+                best = candidate
+        return AlignmentOutcome(alignment=best, n_seeds=len(seeds),
+                                n_chains=len(chains), workload=workload)
+
+    def _extend_chain(self, read: np.ndarray, chain: Chain, name: str,
+                      workload: ExtensionWorkload) -> "Alignment | None":
+        n = int(read.size)
+        # Window of the double-strand text the whole read would occupy if
+        # the chain's diagonal is right, padded by half a band.
+        ref_begin = chain.ref_start - chain.read_start - self.band // 2
+        ref_begin = max(0, ref_begin)
+        window_len = n + self.band
+        window = self._text[ref_begin:ref_begin + window_len]
+        if window.size < n // 2:
+            return None
+
+        score = None
+        if self.edit_check_first:
+            # The edit-distance unit clears near-perfect candidates fast.
+            workload.add_edit(n)
+            dist = banded_edit_distance(read, window[:n], band=self.band)
+            if dist is not None and dist <= 2:
+                score = (n - dist) * self.scheme.match + dist * \
+                    self.scheme.mismatch
+                end_pos = ref_begin
+        if score is None:
+            workload.add_sw(n)
+            sw = banded_smith_waterman(read, window, self.scheme, self.band)
+            if not sw.is_aligned:
+                return None
+            score = sw.score
+            end_pos = ref_begin + sw.target_end - sw.query_end
+        hit = self.reference.to_forward(max(0, end_pos), min(
+            n, 2 * len(self.reference) - max(0, end_pos)))
+        if hit is None:
+            return None
+        return Alignment(read_name=name, strand=hit.strand,
+                         position=hit.start, score=int(score),
+                         chain_score=chain.score)
+
+    # ------------------------------------------------------------------
+    # SAM emission (traceback path)
+    # ------------------------------------------------------------------
+
+    def align_sam(self, read: np.ndarray, name: str = "read",
+                  quality: str = "") -> SamRecord:
+        """Align one read and emit a SAM record with a real CIGAR.
+
+        The best and runner-up chains are both extended with the
+        traceback kernel so mapping quality can reflect uniqueness.
+        """
+        result = seed_read(self.engine, read, self.params)
+        chains = chain_seeds(result.all_seeds)
+        quality = quality or "I" * int(read.size)
+        candidates = []
+        for chain in chains[:self.max_chains_extended]:
+            traced = self._trace_chain(read, chain)
+            if traced is not None:
+                candidates.append(traced)
+        if not candidates:
+            return unmapped_record(name, decode(read), quality)
+        candidates.sort(key=lambda c: -c[0])
+        best_score, strand, position, cigar = candidates[0]
+        runner_up = candidates[1][0] if len(candidates) > 1 else 0
+        mapq = mapq_from_scores(best_score, runner_up, int(read.size))
+        return mapped_record(name, decode(read), quality, self.reference,
+                             strand, position, cigar, best_score, mapq)
+
+    def align_sam_multi(self, read: np.ndarray, name: str = "read",
+                        quality: str = "",
+                        max_secondary: int = 3) -> "list[SamRecord]":
+        """Like :meth:`align_sam` but also emits secondary records
+        (FLAG 0x100) for distinct runner-up placements, as read aligners
+        do for multi-mapping reads in repeats."""
+        from dataclasses import replace as _replace
+        result = seed_read(self.engine, read, self.params)
+        chains = chain_seeds(result.all_seeds)
+        quality = quality or "I" * int(read.size)
+        candidates = []
+        for chain in chains[:self.max_chains_extended]:
+            traced = self._trace_chain(read, chain)
+            if traced is not None:
+                candidates.append(traced)
+        if not candidates:
+            return [unmapped_record(name, decode(read), quality)]
+        candidates.sort(key=lambda c: -c[0])
+        best_score = candidates[0][0]
+        runner_up = candidates[1][0] if len(candidates) > 1 else 0
+        records = []
+        seen_positions = set()
+        for rank, (score, strand, position, cigar) in enumerate(candidates):
+            if (strand, position) in seen_positions:
+                continue
+            seen_positions.add((strand, position))
+            if rank == 0:
+                mapq = mapq_from_scores(best_score, runner_up,
+                                        int(read.size))
+                records.append(mapped_record(name, decode(read), quality,
+                                             self.reference, strand,
+                                             position, cigar, score, mapq))
+            elif len(records) <= max_secondary:
+                rec = mapped_record(name, decode(read), quality,
+                                    self.reference, strand, position,
+                                    cigar, score, 0)
+                records.append(_replace(rec, flag=rec.flag | 0x100))
+        return records
+
+    def _trace_chain(self, read: np.ndarray, chain: Chain):
+        n = int(read.size)
+        ref_begin = max(0, chain.ref_start - chain.read_start
+                        - self.band // 2)
+        window = self._text[ref_begin:ref_begin + n + self.band]
+        if window.size < n // 2:
+            return None
+        traced = banded_sw_traceback(read, window, self.scheme, self.band)
+        if not traced.is_aligned:
+            return None
+        ref_len = traced.target_end - traced.target_start
+        hit = self.reference.to_forward(ref_begin + traced.target_start,
+                                        ref_len)
+        if hit is None:
+            return None
+        cigar = traced.cigar
+        if hit.strand is Strand.REVERSE:
+            # Forward-strand coordinates run opposite to the walk over
+            # the reverse-complement half of X: flip the CIGAR.
+            cigar = tuple(reversed(cigar))
+        cigar_str = "".join(f"{length}{op}" for op, length in cigar)
+        return traced.score, hit.strand, hit.start, cigar_str

@@ -1,0 +1,138 @@
+"""Banded affine-gap Smith-Waterman and banded edit distance.
+
+These are the functional equivalents of a SeedEx lane's compute units
+(3 banded Smith-Waterman units with 41 PEs each plus one edit-distance
+unit, §VI).  The Smith-Waterman recurrence is vectorized per row within
+the band; scoring defaults follow BWA-MEM (match +1, mismatch -4,
+gap open -6, gap extend -1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+NEG_INF = -10 ** 9
+
+
+@dataclass(frozen=True)
+class ScoringScheme:
+    """Affine-gap scoring (BWA-MEM defaults)."""
+
+    match: int = 1
+    mismatch: int = -4
+    gap_open: int = -6
+    gap_extend: int = -1
+
+    def __post_init__(self) -> None:
+        if self.match <= 0:
+            raise ValueError("match score must be positive")
+        if self.mismatch >= 0 or self.gap_open >= 0 or self.gap_extend >= 0:
+            raise ValueError("penalties must be negative")
+
+
+@dataclass(frozen=True)
+class AlignmentResult:
+    """Outcome of one banded alignment."""
+
+    score: int
+    query_end: int
+    target_end: int
+    cells: int
+
+    @property
+    def is_aligned(self) -> bool:
+        return self.score > 0
+
+
+def banded_smith_waterman(query: np.ndarray, target: np.ndarray,
+                          scheme: "ScoringScheme | None" = None,
+                          band: int = 41) -> AlignmentResult:
+    """Local alignment of ``query`` vs ``target`` within a diagonal band.
+
+    Cells with ``|i - j| > band // 2`` are never computed, matching the
+    fixed-width systolic band of a hardware unit (band 41 in SeedEx).
+    Returns the best local score and its end coordinates, plus the number
+    of cells computed (the hardware cost driver).
+    """
+    scheme = scheme or ScoringScheme()
+    if band < 1:
+        raise ValueError("band must be at least 1")
+    q = np.asarray(query, dtype=np.int16)
+    t = np.asarray(target, dtype=np.int16)
+    m, n = q.size, t.size
+    if m == 0 or n == 0:
+        return AlignmentResult(0, 0, 0, 0)
+    half = band // 2
+
+    # Rows over the query; H/E/F over target positions, restricted to the
+    # band around the main diagonal.
+    h_prev = np.zeros(n + 1, dtype=np.int64)
+    e_prev = np.full(n + 1, NEG_INF, dtype=np.int64)
+    best = 0
+    best_q = best_t = 0
+    cells = 0
+    for i in range(1, m + 1):
+        lo = max(1, i - half)
+        hi = min(n, i + half)
+        if lo > hi:
+            break
+        h_cur = np.zeros(n + 1, dtype=np.int64)
+        e_cur = np.full(n + 1, NEG_INF, dtype=np.int64)
+        window = slice(lo, hi + 1)
+        match_scores = np.where(t[lo - 1:hi] == q[i - 1],
+                                scheme.match, scheme.mismatch)
+        diag = h_prev[lo - 1:hi] + match_scores
+        e_cur[window] = np.maximum(h_prev[window] + scheme.gap_open,
+                                   e_prev[window] + scheme.gap_extend)
+        # F (gaps in the target) has a row-local dependency; scan it.
+        f = NEG_INF
+        row_best = NEG_INF
+        row_best_j = lo
+        for off, j in enumerate(range(lo, hi + 1)):
+            f = max(h_cur[j - 1] + scheme.gap_open, f + scheme.gap_extend)
+            h = max(0, diag[off], int(e_cur[j]), f)
+            h_cur[j] = h
+            if h > row_best:
+                row_best, row_best_j = h, j
+        cells += hi - lo + 1
+        if row_best > best:
+            best, best_q, best_t = int(row_best), i, row_best_j
+        h_prev, e_prev = h_cur, e_cur
+    return AlignmentResult(int(best), best_q, best_t, cells)
+
+
+def banded_edit_distance(query: np.ndarray, target: np.ndarray,
+                         band: int = 41) -> "int | None":
+    """Banded Levenshtein distance, or ``None`` when the true distance
+    exceeds what the band can certify (the hardware edit-distance unit's
+    quick-accept path for near-perfect candidates)."""
+    if band < 1:
+        raise ValueError("band must be at least 1")
+    q = np.asarray(query)
+    t = np.asarray(target)
+    m, n = q.size, t.size
+    half = band // 2
+    if abs(m - n) > half:
+        return None
+    inf = 10 ** 9
+    prev = {j: j for j in range(0, min(n, half) + 1)}
+    for i in range(1, m + 1):
+        lo = max(0, i - half)
+        hi = min(n, i + half)
+        cur = {}
+        for j in range(lo, hi + 1):
+            if j == 0:
+                cur[j] = i
+                continue
+            sub = prev.get(j - 1, inf) + (
+                0 if q[i - 1] == t[j - 1] else 1)
+            dele = prev.get(j, inf) + 1
+            ins = cur.get(j - 1, inf) + 1
+            cur[j] = min(sub, dele, ins)
+        prev = cur
+    dist = prev.get(n)
+    if dist is None or dist > half:
+        return None
+    return int(dist)

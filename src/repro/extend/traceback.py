@@ -1,0 +1,174 @@
+"""Banded affine Smith-Waterman with full traceback (CIGAR production).
+
+The score-only kernel in :mod:`repro.extend.smith_waterman` models the
+hardware cost; alignment *output* needs the operation string.  This
+variant keeps banded pointer matrices for the three affine states and
+walks them back from the best cell, emitting a BWA-style CIGAR with
+soft-clips for the unaligned read ends.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.extend.smith_waterman import NEG_INF, ScoringScheme
+
+# Traceback codes for the H matrix.
+_STOP, _DIAG, _FROM_E, _FROM_F = 0, 1, 2, 3
+
+
+@dataclass(frozen=True)
+class TracedAlignment:
+    """A local alignment with its operation string.
+
+    ``cigar`` is a list of ``(op, length)`` with ops in ``M=X I D S``
+    (``M`` match, ``X`` mismatch, ``I`` insertion to the reference /
+    extra query base, ``D`` deletion, ``S`` soft clip); query/target
+    coordinates are 0-based half-open.
+    """
+
+    score: int
+    query_start: int
+    query_end: int
+    target_start: int
+    target_end: int
+    cigar: "tuple[tuple[str, int], ...]"
+
+    @property
+    def is_aligned(self) -> bool:
+        return self.score > 0
+
+    def cigar_string(self) -> str:
+        return "".join(f"{length}{op}" for op, length in self.cigar)
+
+
+def _merge(ops: "list[tuple[str, int]]") -> "tuple[tuple[str, int], ...]":
+    merged = []
+    for op, length in ops:
+        if length == 0:
+            continue
+        if merged and merged[-1][0] == op:
+            merged[-1] = (op, merged[-1][1] + length)
+        else:
+            merged.append((op, length))
+    return tuple(merged)
+
+
+def banded_sw_traceback(query: np.ndarray, target: np.ndarray,
+                        scheme: "ScoringScheme | None" = None,
+                        band: int = 41) -> TracedAlignment:
+    """Local alignment with CIGAR, banded like the score-only kernel."""
+    scheme = scheme or ScoringScheme()
+    if band < 1:
+        raise ValueError("band must be at least 1")
+    q = np.asarray(query, dtype=np.int16)
+    t = np.asarray(target, dtype=np.int16)
+    m, n = q.size, t.size
+    if m == 0 or n == 0:
+        return TracedAlignment(0, 0, 0, 0, 0,
+                               _merge([("S", m)]) if m else ())
+    half = band // 2
+    width = 2 * half + 2
+
+    h_prev = np.zeros(n + 1, dtype=np.int64)
+    e_prev = np.full(n + 1, NEG_INF, dtype=np.int64)
+    # Pointer matrices, band-relative: column j maps to j - (i - half).
+    h_ptr = np.zeros((m + 1, width), dtype=np.int8)
+    e_open = np.zeros((m + 1, width), dtype=bool)
+    f_open = np.zeros((m + 1, width), dtype=bool)
+
+    def rel(i, j):
+        return j - (i - half)
+
+    best = 0
+    best_i = best_j = 0
+    for i in range(1, m + 1):
+        lo = max(1, i - half)
+        hi = min(n, i + half)
+        if lo > hi:
+            break
+        h_cur = np.zeros(n + 1, dtype=np.int64)
+        e_cur = np.full(n + 1, NEG_INF, dtype=np.int64)
+        f = NEG_INF
+        f_was_open = False
+        for j in range(lo, hi + 1):
+            r = rel(i, j)
+            if not 0 <= r < width:
+                continue
+            # E: gap in the query (consume target), vertical state.
+            open_e = h_prev[j] + scheme.gap_open
+            extend_e = e_prev[j] + scheme.gap_extend
+            if open_e >= extend_e:
+                e_cur[j] = open_e
+                e_open[i][r] = True
+            else:
+                e_cur[j] = extend_e
+                e_open[i][r] = False
+            # F: gap in the target (consume query), horizontal state.
+            open_f = h_cur[j - 1] + scheme.gap_open
+            extend_f = f + scheme.gap_extend
+            if open_f >= extend_f:
+                f = open_f
+                f_was_open = True
+            else:
+                f = extend_f
+                f_was_open = False
+            f_open[i][r] = f_was_open
+            diag = h_prev[j - 1] + (scheme.match if t[j - 1] == q[i - 1]
+                                    else scheme.mismatch)
+            h = max(0, diag, int(e_cur[j]), f)
+            h_cur[j] = h
+            if h == 0:
+                h_ptr[i][r] = _STOP
+            elif h == diag:
+                h_ptr[i][r] = _DIAG
+            elif h == e_cur[j]:
+                h_ptr[i][r] = _FROM_E
+            else:
+                h_ptr[i][r] = _FROM_F
+            if h > best:
+                best, best_i, best_j = int(h), i, j
+        h_prev, e_prev = h_cur, e_cur
+
+    if best == 0:
+        return TracedAlignment(0, 0, 0, 0, 0, _merge([("S", m)]))
+
+    # Walk back from the best cell.
+    ops: "list[tuple[str, int]]" = []
+    i, j = best_i, best_j
+    state = "H"
+    while i > 0 and j > 0:
+        r = rel(i, j)
+        if state == "H":
+            ptr = h_ptr[i][r]
+            if ptr == _STOP:
+                break
+            if ptr == _DIAG:
+                ops.append(("M" if t[j - 1] == q[i - 1] else "X", 1))
+                i -= 1
+                j -= 1
+            elif ptr == _FROM_E:
+                state = "E"
+            else:
+                state = "F"
+        elif state == "E":
+            # E came from the previous row, same column: it consumed a
+            # query base (an insertion relative to the reference).
+            ops.append(("I", 1))
+            if e_open[i][rel(i, j)]:
+                state = "H"
+            i -= 1
+        else:  # F: same row, previous column: consumed a target base.
+            ops.append(("D", 1))
+            if f_open[i][rel(i, j)]:
+                state = "H"
+            j -= 1
+
+    ops.reverse()
+    query_start, target_start = i, j
+    cigar = ([("S", query_start)] + ops + [("S", m - best_i)])
+    return TracedAlignment(score=best, query_start=query_start,
+                           query_end=best_i, target_start=target_start,
+                           target_end=best_j, cigar=_merge(cigar))

@@ -1,0 +1,31 @@
+"""FMD-index substrate: the baseline index BWA-MEM / BWA-MEM2 seed with.
+
+Implements, from scratch:
+
+* :mod:`repro.fmindex.suffix_array` -- suffix array construction
+  (numpy prefix-doubling) and the Burrows-Wheeler transform;
+* :mod:`repro.fmindex.fmd` -- the bidirectional FMD-index of Li (2012):
+  count table, checkpointed occurrence table with a configurable compression
+  layout (BWA-MEM's 128-positions-per-block vs BWA-MEM2's 64), sampled
+  suffix array with LF-walk locate, and bi-interval backward/forward
+  extension over the double-strand text ``X = R . revcomp(R)``;
+* :mod:`repro.fmindex.engine` -- the :class:`FmdSeedingEngine` adapter that
+  plugs the FMD-index into the engine-agnostic SMEM algorithm of
+  :mod:`repro.seeding`.
+
+Memory traffic is reported through :mod:`repro.memsim` so the paper's
+Fig 12 (requests and bytes per read) can be regenerated.
+"""
+
+from repro.fmindex.fmd import BiInterval, FmdConfig, FmdIndex
+from repro.fmindex.engine import FmdSeedingEngine
+from repro.fmindex.suffix_array import bwt_from_sa, suffix_array
+
+__all__ = [
+    "BiInterval",
+    "FmdConfig",
+    "FmdIndex",
+    "FmdSeedingEngine",
+    "bwt_from_sa",
+    "suffix_array",
+]

@@ -1,0 +1,157 @@
+"""SA-IS: linear-time suffix array construction by induced sorting.
+
+Nong, Zhang & Chan (2009).  Production FM-index builds (including
+BWA-MEM2's) use linear-time construction; the numpy prefix-doubling in
+:mod:`repro.fmindex.suffix_array` is asymptotically worse but vectorizes
+better at this reproduction's scales.  Both are provided and
+cross-validated against each other (``method=`` parameter on
+:func:`repro.fmindex.suffix_array.suffix_array`), which is itself a
+strong correctness check: two structurally unrelated algorithms must
+agree on every input.
+
+Same comparison convention as the rest of the package: a suffix that is
+a proper prefix of another sorts first (implicit terminal sentinel).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def sais_suffix_array(text: np.ndarray) -> np.ndarray:
+    """Suffix array of ``text`` via SA-IS (implicit-sentinel convention)."""
+    arr = np.asarray(text, dtype=np.int64)
+    if arr.size == 0:
+        return np.empty(0, dtype=np.int64)
+    if arr.size and arr.min() < 0:
+        raise ValueError("text codes must be non-negative")
+    # Shift up so a unique 0 sentinel can terminate the string.
+    s = np.empty(arr.size + 1, dtype=np.int64)
+    s[:-1] = arr + 1
+    s[-1] = 0
+    sa = _sais(s.tolist(), int(s.max()) + 1)
+    # Row 0 is the sentinel suffix; the rest is the answer.
+    return np.array(sa[1:], dtype=np.int64)
+
+
+def _classify(s: "list[int]") -> "list[bool]":
+    """True where the suffix is S-type (smaller than its successor)."""
+    n = len(s)
+    stype = [False] * n
+    stype[n - 1] = True
+    for i in range(n - 2, -1, -1):
+        if s[i] < s[i + 1] or (s[i] == s[i + 1] and stype[i + 1]):
+            stype[i] = True
+    return stype
+
+
+def _is_lms(stype: "list[bool]", i: int) -> bool:
+    return i > 0 and stype[i] and not stype[i - 1]
+
+
+def _bucket_sizes(s: "list[int]", alphabet: int) -> "list[int]":
+    sizes = [0] * alphabet
+    for c in s:
+        sizes[c] += 1
+    return sizes
+
+
+def _bucket_heads(sizes: "list[int]") -> "list[int]":
+    heads = []
+    total = 0
+    for size in sizes:
+        heads.append(total)
+        total += size
+    return heads
+
+
+def _bucket_tails(sizes: "list[int]") -> "list[int]":
+    tails = []
+    total = 0
+    for size in sizes:
+        total += size
+        tails.append(total - 1)
+    return tails
+
+
+def _induce(s: "list[int]", sa: "list[int]", stype: "list[bool]",
+            sizes: "list[int]") -> None:
+    """Induce L-type then S-type suffixes from the placed LMS suffixes."""
+    n = len(s)
+    heads = _bucket_heads(sizes)
+    for i in range(n):
+        j = sa[i] - 1
+        if sa[i] > 0 and not stype[j]:
+            sa[heads[s[j]]] = j
+            heads[s[j]] += 1
+    tails = _bucket_tails(sizes)
+    for i in range(n - 1, -1, -1):
+        j = sa[i] - 1
+        if sa[i] > 0 and stype[j]:
+            sa[tails[s[j]]] = j
+            tails[s[j]] -= 1
+
+
+def _sais(s: "list[int]", alphabet: int) -> "list[int]":
+    n = len(s)
+    if n == 1:
+        return [0]
+    if n == 2:
+        return [1, 0] if s[0] >= s[1] else [0, 1]
+
+    stype = _classify(s)
+    sizes = _bucket_sizes(s, alphabet)
+    lms = [i for i in range(1, n) if _is_lms(stype, i)]
+
+    # Step 1: rough placement of LMS suffixes, then induction.
+    sa = [-1] * n
+    tails = _bucket_tails(sizes)
+    for i in lms:
+        sa[tails[s[i]]] = i
+        tails[s[i]] -= 1
+    _induce(s, sa, stype, sizes)
+
+    # Step 2: name LMS substrings in their induced order.
+    ordered_lms = [i for i in sa if _is_lms(stype, i)]
+    names = [-1] * n
+    current = 0
+    names[ordered_lms[0]] = 0
+    for prev, cur in zip(ordered_lms, ordered_lms[1:]):
+        if not _lms_substrings_equal(s, stype, prev, cur):
+            current += 1
+        names[cur] = current
+
+    # Step 3: recurse if names are not yet unique.
+    reduced = [names[i] for i in lms]
+    if current + 1 == len(lms):
+        order = [0] * len(lms)
+        for idx, name in enumerate(reduced):
+            order[name] = idx
+    else:
+        order = _sais(reduced, current + 1)
+
+    # Step 4: exact placement of LMS suffixes, then final induction.
+    sa = [-1] * n
+    tails = _bucket_tails(sizes)
+    for idx in range(len(lms) - 1, -1, -1):
+        i = lms[order[idx]]
+        sa[tails[s[i]]] = i
+        tails[s[i]] -= 1
+    _induce(s, sa, stype, sizes)
+    return sa
+
+
+def _lms_substrings_equal(s: "list[int]", stype: "list[bool]",
+                          a: int, b: int) -> bool:
+    """Compare two LMS substrings (inclusive of their terminating LMS)."""
+    n = len(s)
+    offset = 0
+    while True:
+        ia, ib = a + offset, b + offset
+        if ia >= n or ib >= n:
+            return False
+        if s[ia] != s[ib] or stype[ia] != stype[ib]:
+            return False
+        if offset > 0 and (_is_lms(stype, ia) or _is_lms(stype, ib)):
+            return _is_lms(stype, ia) and _is_lms(stype, ib)
+        offset += 1

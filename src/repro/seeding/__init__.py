@@ -1,0 +1,32 @@
+"""Engine-agnostic seeding: SMEM algorithm, reseeding, LAST, and the oracle.
+
+BWA-MEM2's seeding has three stages (paper §V: "SMEM generation, reseeding,
+and LAST").  This package implements all three *once*, against the abstract
+:class:`~repro.seeding.engine.SeedingEngine` interface; the FMD-index and
+the ERT each provide an engine.  Because both engines execute the same
+algorithm skeleton, the paper's bit-equivalence claim ("100% identical
+output") becomes a structural property here, and
+:mod:`repro.seeding.verify` checks it against a brute-force oracle.
+"""
+
+from repro.seeding.algorithm import SeedingParams, generate_smems, seed_read
+from repro.seeding.engine import EngineStats, ForwardSearch, SeedingEngine
+from repro.seeding.oracle import OracleEngine, oracle_smems
+from repro.seeding.types import Mem, Seed, SeedingResult
+from repro.seeding.verify import assert_equivalent, compare_engines
+
+__all__ = [
+    "EngineStats",
+    "ForwardSearch",
+    "Mem",
+    "OracleEngine",
+    "Seed",
+    "SeedingEngine",
+    "SeedingParams",
+    "SeedingResult",
+    "assert_equivalent",
+    "compare_engines",
+    "generate_smems",
+    "oracle_smems",
+    "seed_read",
+]

@@ -1,0 +1,44 @@
+"""Host-side seeding of ambiguous-base reads (paper §V).
+
+Reads with non-ACGT bases never reach the accelerator; the host seeds
+them instead.  Because the sanitized reference is pure ACGT, no exact
+match can cross an ambiguous read base, so the read's maximal ACGT runs
+can be seeded independently and their seeds re-offset into read
+coordinates -- producing exactly the seeds the whole read would have
+yielded if the engine understood ambiguity codes.
+"""
+
+from __future__ import annotations
+
+from repro.seeding.algorithm import SeedingParams, seed_read
+from repro.seeding.engine import SeedingEngine
+from repro.seeding.types import Seed, SeedingResult
+from repro.sequence.ambiguity import split_unambiguous_segments
+
+
+def _shift(seed: Seed, offset: int) -> Seed:
+    return Seed(read_start=seed.read_start + offset, length=seed.length,
+                hits=seed.hits, hit_count=seed.hit_count)
+
+
+def seed_ambiguous_read(engine: SeedingEngine, sequence: str,
+                        params: "SeedingParams | None" = None
+                        ) -> SeedingResult:
+    """Seed a read that may contain ambiguity codes.
+
+    Pure-ACGT reads take the normal path unchanged; otherwise each
+    unambiguous segment is seeded separately and the results are merged
+    with their offsets applied.
+    """
+    params = params or SeedingParams()
+    combined = SeedingResult()
+    for offset, codes in split_unambiguous_segments(sequence):
+        if int(codes.size) < params.min_seed_len:
+            continue  # too short to yield any reportable seed
+        result = seed_read(engine, codes, params)
+        combined.smems.extend(_shift(s, offset) for s in result.smems)
+        combined.reseed_seeds.extend(_shift(s, offset)
+                                     for s in result.reseed_seeds)
+        combined.last_seeds.extend(_shift(s, offset)
+                                   for s in result.last_seeds)
+    return combined

@@ -1,0 +1,154 @@
+"""The abstract seeding-engine interface both indexes implement.
+
+The SMEM algorithm (:mod:`repro.seeding.algorithm`) is written once against
+this interface.  An engine must answer five questions about exact matches of
+a read against the double-strand text ``X``:
+
+* :meth:`SeedingEngine.forward_search` -- from a pivot, how far right does
+  the match extend, and at which positions did the hit set change (the
+  paper's *left extension points*, LEP)?
+* :meth:`SeedingEngine.backward_search` -- given a right endpoint, how far
+  left does the match extend?
+* :meth:`SeedingEngine.count` / :meth:`SeedingEngine.locate` -- occurrence
+  count and positions of a read substring.
+* :meth:`SeedingEngine.last_seed` -- the forward-only selective-prefix query
+  BWA-MEM2's third seeding round (LAST) performs.
+
+LEP convention ("leaving", matching BWA's `bwt_smem1`): position ``p`` in
+``(start, end)`` is an LEP iff extending the match from ``read[start:p]`` to
+``read[start:p+1]`` changes the hit count; the match end ``end`` is always
+an LEP.  This is exactly the set of right endpoints from which backward
+searches must be launched for the SMEM set to be complete (§II-A).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.seeding.types import Mem
+
+
+@dataclass(frozen=True)
+class ForwardSearch:
+    """Result of a forward search from a pivot.
+
+    ``end``: exclusive end of the longest match starting at the pivot
+    (``end == start`` when even the first character has too few hits).
+    ``leps``: ascending LEP positions in ``(start, end]``; empty iff the
+    match is empty.  The last entry is always ``end``.
+    """
+
+    start: int
+    end: int
+    leps: "tuple[int, ...]"
+
+    @property
+    def is_empty(self) -> bool:
+        return self.end <= self.start
+
+
+@dataclass
+class EngineStats:
+    """Work counters every engine maintains (ablation figures §III-B/F)."""
+
+    forward_searches: int = 0
+    backward_searches: int = 0
+    pruned_backward_searches: int = 0
+    merged_backward_searches: int = 0
+    index_lookups: int = 0
+    tree_root_fetches: int = 0
+    nodes_visited: int = 0
+    leaf_fetches: int = 0
+    occ_queries: int = 0
+
+    def reset(self) -> None:
+        for name in vars(self):
+            setattr(self, name, 0)
+
+    def as_dict(self) -> "dict[str, int]":
+        return dict(vars(self))
+
+
+class SeedingEngine(abc.ABC):
+    """Abstract exact-match engine over the double-strand text."""
+
+    #: Human-readable configuration name (used in benchmark tables).
+    name: str = "engine"
+
+    def __init__(self) -> None:
+        self.stats = EngineStats()
+
+    # -- matching ------------------------------------------------------
+
+    @abc.abstractmethod
+    def forward_search(self, read: np.ndarray, start: int,
+                       min_hits: int = 1) -> ForwardSearch:
+        """Longest match of ``read[start:]`` with >= ``min_hits`` hits,
+        plus its LEP positions (see module docstring for the convention)."""
+
+    @abc.abstractmethod
+    def backward_search(self, read: np.ndarray, end: int,
+                        min_hits: int = 1) -> int:
+        """Smallest ``s`` such that ``read[s:end]`` has >= ``min_hits``
+        hits.  ``end`` itself is returned when even the single character
+        ``read[end-1:end]`` is below the threshold."""
+
+    @abc.abstractmethod
+    def count(self, read: np.ndarray, start: int, end: int) -> int:
+        """Occurrence count of ``read[start:end]`` in ``X``."""
+
+    @abc.abstractmethod
+    def locate(self, read: np.ndarray, start: int, end: int,
+               limit: "int | None" = None) -> "tuple[int, list[int]]":
+        """``(count, hits)`` for ``read[start:end]``: the true occurrence
+        count and the sorted hit positions in ``X`` (at most ``limit`` of
+        them when given).  One engine call yields both so that traffic
+        accounting matches real implementations, which know the interval
+        size from the search that produced the seed."""
+
+    @abc.abstractmethod
+    def last_seed(self, read: np.ndarray, start: int, min_len: int,
+                  max_intv: int) -> "tuple[int, int] | None":
+        """BWA's third-round query (`bwt_seed_strategy1`): scan forward from
+        ``start``; return ``(end, count)`` for the shortest match with
+        length >= ``min_len`` and count < ``max_intv``, or ``None`` if the
+        match dies before becoming long and selective enough."""
+
+    # -- backward sweep ---------------------------------------------------
+
+    def backward_sweep(self, read: np.ndarray, leps: "tuple[int, ...]",
+                       min_hits: int, prev_pivot: int,
+                       use_pruning: bool) -> "list[Mem]":
+        """Run the backward searches for one pivot's LEP set.
+
+        LEPs are processed right-to-left; with ``use_pruning`` a search
+        that reaches ``prev_pivot`` ends the sweep (§III-F) because every
+        remaining MEM is provably contained in the one just found.  Engines
+        may override this to batch work across searches -- the ERT engine's
+        prefix-merged sweep (§III-B) resolves adjacent LEP pairs with a
+        single tree traversal -- but must return the same MEM multiset
+        modulo contained intervals.
+        """
+        mems = []
+        for idx in range(len(leps) - 1, -1, -1):
+            p = leps[idx]
+            s = self.backward_search(read, p, min_hits)
+            self.stats.backward_searches += 1
+            if s < p:
+                mems.append(Mem(s, p))
+            if use_pruning and s <= prev_pivot:
+                self.stats.pruned_backward_searches += idx
+                break
+        return mems
+
+    # -- bookkeeping ----------------------------------------------------
+
+    def begin_read(self) -> None:
+        """Hook invoked once per read before seeding (engines may reset
+        per-read scratch state)."""
+
+    def reset_stats(self) -> None:
+        self.stats.reset()

@@ -1,0 +1,73 @@
+"""Core value types shared across seeding engines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True, order=True)
+class Mem:
+    """A maximal exact match in read coordinates: ``read[start:end]``."""
+
+    start: int
+    end: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.start < self.end:
+            raise ValueError(f"invalid MEM interval [{self.start}, {self.end})")
+
+    @property
+    def length(self) -> int:
+        return self.end - self.start
+
+    def contains(self, other: "Mem") -> bool:
+        """True if ``other`` lies fully inside this MEM."""
+        return self.start <= other.start and other.end <= self.end
+
+
+@dataclass(frozen=True)
+class Seed:
+    """A seed in the output format the paper's accelerator emits (§IV-E):
+    (seed start position in read, seed length, list of hits in ``X``).
+
+    ``hits`` are sorted positions in the double-strand text; map them to
+    forward-strand coordinates with
+    :meth:`repro.sequence.Reference.to_forward`.  ``hit_count`` is the true
+    occurrence count even when ``hits`` was truncated by a locate limit.
+    """
+
+    read_start: int
+    length: int
+    hits: "tuple[int, ...]"
+    hit_count: int
+
+    @property
+    def read_end(self) -> int:
+        return self.read_start + self.length
+
+    @property
+    def interval(self) -> Mem:
+        return Mem(self.read_start, self.read_end)
+
+
+@dataclass
+class SeedingResult:
+    """Everything seeding produces for one read."""
+
+    smems: "list[Seed]" = field(default_factory=list)
+    reseed_seeds: "list[Seed]" = field(default_factory=list)
+    last_seeds: "list[Seed]" = field(default_factory=list)
+
+    @property
+    def all_seeds(self) -> "list[Seed]":
+        """All seeds, deduplicated by (start, length), sorted."""
+        seen = {}
+        for seed in self.smems + self.reseed_seeds + self.last_seeds:
+            seen.setdefault((seed.read_start, seed.length), seed)
+        return [seen[key] for key in sorted(seen)]
+
+    def key(self) -> "tuple":
+        """A canonical, comparable summary (for engine equivalence checks)."""
+        return tuple(
+            (s.read_start, s.length, s.hit_count, s.hits)
+            for s in self.all_seeds)

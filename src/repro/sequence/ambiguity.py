@@ -1,0 +1,80 @@
+"""Ambiguous-base (IUPAC / N) handling, as the paper's methodology does.
+
+§V: "Reads containing ambiguous base pairs (non-A/C/G/T) are processed on
+the host-CPU and ambiguous base pairs in the reference genome are
+converted to one of the standard nucleotides."  Concretely:
+
+* :func:`sanitize_reference` converts every non-ACGT reference character
+  to a deterministic pseudo-random standard base (seeded, so index builds
+  are reproducible);
+* :func:`split_unambiguous_segments` cuts a read into its maximal ACGT
+  runs -- since the sanitized reference contains no ambiguity codes, no
+  exact match can cross an ambiguous read base, so the runs can be seeded
+  independently (this is the "host processing" path);
+* :func:`is_ambiguous` routes reads between the accelerator path (pure
+  ACGT) and the host path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sequence.alphabet import BASES, encode
+
+_STANDARD = set(BASES) | set(BASES.lower())
+
+#: IUPAC ambiguity codes and the standard bases they may stand for.
+IUPAC = {
+    "R": "AG", "Y": "CT", "S": "CG", "W": "AT", "K": "GT", "M": "AC",
+    "B": "CGT", "D": "AGT", "H": "ACT", "V": "ACG", "N": "ACGT",
+}
+
+
+def is_ambiguous(seq: str) -> bool:
+    """True if the sequence contains any non-ACGT character."""
+    return any(ch not in _STANDARD for ch in seq)
+
+
+def sanitize_reference(seq: str, seed: int = 0) -> str:
+    """Replace every ambiguity code with a standard base.
+
+    The replacement respects the IUPAC code's allowed set (an ``R``
+    becomes ``A`` or ``G``) and is drawn from a seeded generator, so the
+    same input always yields the same sanitized reference -- a requirement
+    for reproducible index builds.  Unknown characters resolve over the
+    full alphabet.
+    """
+    if not is_ambiguous(seq):
+        return seq.upper()
+    rng = np.random.default_rng(seed)
+    out = []
+    for ch in seq.upper():
+        if ch in _STANDARD:
+            out.append(ch)
+            continue
+        choices = IUPAC.get(ch, BASES)
+        out.append(choices[int(rng.integers(0, len(choices)))])
+    return "".join(out)
+
+
+def split_unambiguous_segments(seq: str) -> "list[tuple[int, np.ndarray]]":
+    """Maximal ACGT runs of a read as ``(offset, codes)`` pairs.
+
+    >>> [(off, len(codes)) for off, codes in
+    ...  split_unambiguous_segments("ACGNNTTA")]
+    [(0, 3), (5, 3)]
+    """
+    segments = []
+    start = None
+    upper = seq.upper()
+    for i, ch in enumerate(upper):
+        if ch in BASES:
+            if start is None:
+                start = i
+        else:
+            if start is not None:
+                segments.append((start, encode(upper[start:i])))
+                start = None
+    if start is not None:
+        segments.append((start, encode(upper[start:])))
+    return segments

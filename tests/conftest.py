@@ -1,0 +1,87 @@
+"""Shared fixtures: small repeat-rich genomes, reads, and built engines.
+
+Index construction is the expensive part, so everything here is
+session-scoped; tests must not mutate fixture state (engines reset their
+own per-read scratch).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import ErtConfig, ErtSeedingEngine, build_ert
+from repro.fmindex import FmdConfig, FmdIndex, FmdSeedingEngine
+from repro.seeding import OracleEngine, SeedingParams
+from repro.sequence import GenomeSimulator, ReadSimulator
+
+
+GENOME_LEN = 6000
+READ_LEN = 80
+
+
+@pytest.fixture(scope="session")
+def reference():
+    return GenomeSimulator(seed=11).generate(GENOME_LEN)
+
+
+@pytest.fixture(scope="session")
+def reads(reference):
+    return ReadSimulator(reference, read_length=READ_LEN,
+                         seed=12).simulate(25)
+
+
+@pytest.fixture(scope="session")
+def read_codes(reads):
+    return [r.codes for r in reads]
+
+
+@pytest.fixture(scope="session")
+def params():
+    # min_seed_len scaled down with the genome; >= the ERT fixtures' k.
+    return SeedingParams(min_seed_len=12)
+
+
+@pytest.fixture(scope="session")
+def oracle(reference):
+    return OracleEngine(reference)
+
+
+@pytest.fixture(scope="session")
+def fmd_index(reference):
+    return FmdIndex(reference, FmdConfig.bwa_mem2())
+
+
+@pytest.fixture(scope="session")
+def fmd(fmd_index):
+    return FmdSeedingEngine(fmd_index)
+
+
+@pytest.fixture(scope="session")
+def ert_config():
+    return ErtConfig(k=6, max_seed_len=120, table_threshold=32, table_x=3)
+
+
+@pytest.fixture(scope="session")
+def ert_index(reference, ert_config):
+    return build_ert(reference, ert_config)
+
+
+@pytest.fixture(scope="session")
+def ert(ert_index):
+    return ErtSeedingEngine(ert_index)
+
+
+@pytest.fixture(scope="session")
+def ert_pm_index(reference):
+    config = ErtConfig(k=6, max_seed_len=120, table_threshold=32, table_x=3,
+                       prefix_merging=True)
+    return build_ert(reference, config)
+
+
+@pytest.fixture(scope="session")
+def ert_pm(ert_pm_index):
+    return ErtSeedingEngine(ert_pm_index)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(99)

@@ -1,0 +1,164 @@
+"""Tests for the accelerator simulator: configs, op capture, event model."""
+
+import pytest
+
+from repro.accel import (
+    ASIC_AREA_MM2,
+    ASIC_POWER_W,
+    FPGA_RESOURCES,
+    AcceleratorSim,
+    GENAX_ROW,
+    Op,
+    asic_config,
+    capture_ert_jobs,
+    capture_reuse_jobs,
+    efficiency_row,
+    fpga_config,
+)
+from repro.accel.config import PHASE_TO_PE, microblaze_config
+from repro.seeding import SeedingParams
+
+
+def test_table3_constants_sum():
+    parts = (ASIC_AREA_MM2["seeding_machines"]
+             + ASIC_AREA_MM2["kmer_sorter_metadata"]
+             + ASIC_AREA_MM2["kmer_reuse_cache"])
+    assert parts == pytest.approx(ASIC_AREA_MM2["total"], rel=0.01)
+    assert ASIC_POWER_W["system_total"] == pytest.approx(
+        ASIC_POWER_W["accelerator_total"] + ASIC_POWER_W["dram"], rel=0.01)
+
+
+def test_table4_totals_consistent():
+    total = FPGA_RESOURCES["total"]
+    accel = FPGA_RESOURCES["seeding_accelerator_total"]
+    shell = FPGA_RESOURCES["aws_shell"]
+    for res in ("lut", "bram", "uram"):
+        assert total[res] == pytest.approx(accel[res] + shell[res], abs=0.1)
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        asic_config().scaled(n_machines=0)
+    with pytest.raises(ValueError):
+        asic_config().scaled(clock_hz=0)
+
+
+def test_phase_mapping_covers_decode_table():
+    for phase in asic_config().decode_cycles:
+        assert phase in PHASE_TO_PE
+
+
+def test_microblaze_slower_decode():
+    base = fpga_config()
+    mb = microblaze_config()
+    for phase, cycles in base.decode_cycles.items():
+        assert mb.decode_cycles[phase] == cycles * 12
+
+
+def _toy_jobs(n_jobs=32, ops_per_job=20, stride=4096):
+    jobs = []
+    for j in range(n_jobs):
+        jobs.append([Op(cycles=2, addr=(j * ops_per_job + i) * stride,
+                        phase="tree_traversal")
+                     for i in range(ops_per_job)])
+    return jobs
+
+
+def test_sim_runs_and_reports():
+    res = AcceleratorSim(asic_config()).run(_toy_jobs())
+    assert res.cycles > 0
+    assert res.jobs == 32 and res.reads == 32
+    assert res.reads_per_second > 0
+    assert res.dram_page_opens + res.dram_row_hits == 32 * 20
+    util = res.pe_utilization(asic_config().pes)
+    assert all(0.0 <= u <= 1.0 for u in util.values())
+
+
+def test_sim_empty_jobs():
+    res = AcceleratorSim(asic_config()).run([])
+    assert res.cycles == 0
+    assert res.reads_per_second == float("inf")
+
+
+def test_sim_skips_empty_job_lists():
+    res = AcceleratorSim(asic_config()).run([[], _toy_jobs(1)[0], []])
+    assert res.jobs == 1
+
+
+def test_more_machines_is_not_slower():
+    jobs = _toy_jobs(n_jobs=64)
+    few = AcceleratorSim(asic_config().scaled(n_machines=2)).run(jobs)
+    many = AcceleratorSim(asic_config().scaled(n_machines=16)).run(jobs)
+    assert many.cycles <= few.cycles
+
+
+def test_more_contexts_is_not_slower():
+    jobs = _toy_jobs(n_jobs=64)
+    one = AcceleratorSim(asic_config().scaled(contexts_per_machine=1)).run(jobs)
+    many = AcceleratorSim(asic_config().scaled(contexts_per_machine=16)).run(jobs)
+    assert many.cycles <= one.cycles
+
+
+def test_context_switching_hides_latency():
+    """With many contexts, doubling DRAM latency must hurt much less
+    than with one context (the §IV-A premise)."""
+    cfg = asic_config()
+    slow_dram = cfg.dram.__class__(channels=cfg.dram.channels,
+                                   banks_per_channel=cfg.dram.banks_per_channel,
+                                   row_size=cfg.dram.row_size,
+                                   t_hit=cfg.dram.t_hit * 4,
+                                   t_miss=cfg.dram.t_miss * 4,
+                                   cycles_per_line=cfg.dram.cycles_per_line)
+    jobs = _toy_jobs(n_jobs=128)
+
+    def ratio(contexts):
+        fast = AcceleratorSim(cfg.scaled(
+            contexts_per_machine=contexts)).run(jobs).cycles
+        slow = AcceleratorSim(cfg.scaled(
+            contexts_per_machine=contexts, dram=slow_dram)).run(jobs).cycles
+        return slow / fast
+
+    assert ratio(32) < ratio(1)
+
+
+def test_capture_ert_jobs(ert_index, read_codes, params):
+    cfg = asic_config()
+    jobs = capture_ert_jobs(ert_index, read_codes[:6], params,
+                            cfg.decode_cycles)
+    assert len(jobs) == 6
+    for job in jobs:
+        assert job, "every read produces memory traffic"
+        for op in job:
+            assert op.cycles >= 1
+            assert op.phase in PHASE_TO_PE
+
+
+def test_capture_reuse_jobs(ert_index, read_codes, params):
+    cfg = asic_config()
+    jobs, stats = capture_reuse_jobs(ert_index, read_codes[:6], params,
+                                     cfg.decode_cycles)
+    assert stats.reads == 6
+    # More jobs than reads: per-read phase-1 jobs plus k-mer group jobs.
+    assert len(jobs) > 6
+    total_ops = sum(len(j) for j in jobs)
+    assert total_ops > 0
+
+
+def test_capture_leaves_tracer_detached(ert_index, read_codes, params):
+    capture_ert_jobs(ert_index, read_codes[:2], params,
+                     asic_config().decode_cycles)
+    assert ert_index.tracer is None
+
+
+def test_efficiency_rows():
+    row = efficiency_row("ASIC-ERT", 5e6, "asic")
+    assert row.area_mm2 == ASIC_AREA_MM2["total"]
+    assert row.kreads_per_s_per_mm2 == pytest.approx(
+        5e6 / 1e3 / ASIC_AREA_MM2["total"])
+    assert row.reads_per_mj == pytest.approx(
+        5e6 / (ASIC_POWER_W["system_total"] * 1e3))
+    cpu = efficiency_row("CPU", 1e6, "cpu")
+    assert cpu.area_mm2 > row.area_mm2
+    with pytest.raises(ValueError):
+        efficiency_row("x", 1.0, "gpu")
+    assert GENAX_ROW["kreads_per_s_per_mm2"] == 24.23

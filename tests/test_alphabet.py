@@ -1,0 +1,93 @@
+"""Unit tests for the 2-bit DNA alphabet."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sequence.alphabet import (
+    BASES,
+    AlphabetError,
+    COMPLEMENT,
+    complement_code,
+    decode,
+    encode,
+    revcomp,
+    revcomp_codes,
+)
+
+dna = st.text(alphabet="ACGT", min_size=0, max_size=200)
+
+
+def test_encode_basic():
+    assert encode("ACGT").tolist() == [0, 1, 2, 3]
+
+
+def test_encode_lowercase():
+    assert encode("acgt").tolist() == [0, 1, 2, 3]
+
+
+def test_encode_empty():
+    assert encode("").size == 0
+
+
+def test_encode_rejects_ambiguous():
+    with pytest.raises(AlphabetError):
+        encode("ACGN")
+
+
+def test_encode_rejects_whitespace():
+    with pytest.raises(AlphabetError):
+        encode("AC GT")
+
+
+def test_decode_rejects_out_of_range():
+    with pytest.raises(AlphabetError):
+        decode(np.array([0, 4], dtype=np.uint8))
+
+
+def test_complement_pairs():
+    assert complement_code(0) == 3  # A <-> T
+    assert complement_code(1) == 2  # C <-> G
+    assert complement_code(2) == 1
+    assert complement_code(3) == 0
+
+
+def test_complement_code_rejects_invalid():
+    with pytest.raises(AlphabetError):
+        complement_code(4)
+
+
+def test_complement_table_matches_function():
+    assert [complement_code(c) for c in range(4)] == COMPLEMENT.tolist()
+
+
+def test_revcomp_known():
+    assert revcomp("AACG") == "CGTT"
+    assert revcomp("") == ""
+    assert revcomp("A") == "T"
+
+
+@given(dna)
+def test_roundtrip_encode_decode(seq):
+    assert decode(encode(seq)) == seq
+
+
+@given(dna)
+def test_revcomp_involution(seq):
+    assert revcomp(revcomp(seq)) == seq
+
+
+@given(dna)
+def test_revcomp_codes_matches_string(seq):
+    assert decode(revcomp_codes(encode(seq))) == revcomp(seq)
+
+
+@given(dna, dna)
+def test_revcomp_antihomomorphism(a, b):
+    assert revcomp(a + b) == revcomp(b) + revcomp(a)
+
+
+def test_bases_order_is_code_order():
+    for i, base in enumerate(BASES):
+        assert encode(base)[0] == i

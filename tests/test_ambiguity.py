@@ -1,0 +1,95 @@
+"""Tests for ambiguous-base handling (§V host path)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.seeding import SeedingParams, seed_read
+from repro.seeding.ambiguous import seed_ambiguous_read
+from repro.sequence.alphabet import decode, encode
+from repro.sequence.ambiguity import (
+    IUPAC,
+    is_ambiguous,
+    sanitize_reference,
+    split_unambiguous_segments,
+)
+
+
+def test_is_ambiguous():
+    assert not is_ambiguous("ACGT")
+    assert not is_ambiguous("acgt")
+    assert is_ambiguous("ACGN")
+    assert is_ambiguous("ACGR")
+
+
+def test_sanitize_pure_sequence_unchanged():
+    assert sanitize_reference("acGT") == "ACGT"
+
+
+def test_sanitize_respects_iupac_sets():
+    out = sanitize_reference("RYSWKMBDHVN" * 20, seed=3)
+    for ch, original in zip(out, "RYSWKMBDHVN" * 20):
+        assert ch in IUPAC[original]
+
+
+def test_sanitize_deterministic():
+    seq = "ACGNNNRYACGT"
+    assert sanitize_reference(seq, seed=1) == sanitize_reference(seq, seed=1)
+    # Different seeds may differ (not guaranteed per-position, so check
+    # over a long run).
+    long = "N" * 500
+    assert sanitize_reference(long, seed=1) != sanitize_reference(long,
+                                                                  seed=2)
+
+
+def test_split_segments():
+    segs = split_unambiguous_segments("ACGNNTTA")
+    assert [(off, decode(codes)) for off, codes in segs] == \
+        [(0, "ACG"), (5, "TTA")]
+    assert split_unambiguous_segments("NNN") == []
+    segs = split_unambiguous_segments("ACGT")
+    assert len(segs) == 1 and segs[0][0] == 0
+
+
+@settings(max_examples=40)
+@given(st.text(alphabet="ACGTN", max_size=60))
+def test_split_segments_cover_exactly_the_acgt_runs(seq):
+    segments = split_unambiguous_segments(seq)
+    rebuilt = list(seq.upper())
+    for off, codes in segments:
+        for i, c in enumerate(codes):
+            assert rebuilt[off + i] == "ACGT"[int(c)]
+            rebuilt[off + i] = "*"
+    assert all(ch != "*" or True for ch in rebuilt)
+    assert not any(ch in "ACGT" for ch in rebuilt if ch != "*")
+
+
+def test_seed_ambiguous_read_matches_per_segment(oracle, reference, params):
+    """Seeds of an N-containing read = union of its segments' seeds."""
+    from repro.sequence import ReadSimulator
+    read = ReadSimulator(reference, read_length=60, seed=44).simulate(1)[0]
+    seq = read.sequence
+    broken = seq[:25] + "N" + seq[26:]
+    result = seed_ambiguous_read(oracle, broken, params)
+
+    left = seed_read(oracle, encode(seq[:25]), params)
+    right = seed_read(oracle, encode(seq[26:]), params)
+    expected = sorted(
+        [(s.read_start, s.length) for s in left.all_seeds]
+        + [(s.read_start + 26, s.length) for s in right.all_seeds])
+    got = sorted((s.read_start, s.length) for s in result.all_seeds)
+    assert got == expected
+
+
+def test_seed_ambiguous_pure_read_identical(ert, reference, params):
+    from repro.sequence import ReadSimulator
+    read = ReadSimulator(reference, read_length=60, seed=45).simulate(1)[0]
+    via_ambiguous = seed_ambiguous_read(ert, read.sequence, params)
+    direct = seed_read(ert, read.codes, params)
+    assert via_ambiguous.key() == direct.key()
+
+
+def test_all_n_read_yields_nothing(ert, params):
+    result = seed_ambiguous_read(ert, "N" * 40, params)
+    assert result.all_seeds == []

@@ -1,0 +1,83 @@
+"""Tests for the analysis layer: traffic measurement, roofline, tables."""
+
+import pytest
+
+from repro.analysis import (
+    CpuSystem,
+    cpu_throughput,
+    format_table,
+    measure_traffic,
+)
+from repro.seeding import SeedingParams
+
+
+def test_measure_traffic_fmd_vs_ert(fmd, ert, read_codes, params):
+    """Fig 12's core shape: the ERT needs several times less data per
+    read than the FMD-index."""
+    fmd_profile = measure_traffic(fmd, read_codes, params)
+    ert_profile = measure_traffic(ert, read_codes, params)
+    assert fmd_profile.reads == len(read_codes)
+    assert fmd_profile.bytes_per_read > 2 * ert_profile.bytes_per_read
+    assert fmd_profile.requests_per_read > 2 * ert_profile.requests_per_read
+
+
+def test_measure_traffic_phases_sum(ert, read_codes, params):
+    profile = measure_traffic(ert, read_codes[:5], params)
+    assert sum(reqs for reqs, _ in profile.by_phase.values()) == \
+        profile.requests_total
+    assert sum(b for _, b in profile.by_phase.values()) == \
+        profile.bytes_total
+    assert profile.kb_per_read == pytest.approx(
+        profile.bytes_per_read / 1024)
+
+
+def test_measure_traffic_rejects_untraceable(oracle, read_codes, params):
+    with pytest.raises(TypeError):
+        measure_traffic(oracle, read_codes[:1], params)
+
+
+def test_prefix_merging_reduces_traffic(ert_index, ert_pm_index,
+                                        read_codes, params):
+    """§III-B: the merged sweep must cut index/root/traversal traffic."""
+    from repro.core import ErtSeedingEngine
+    plain = measure_traffic(ErtSeedingEngine(ert_index), read_codes, params)
+    merged = measure_traffic(ErtSeedingEngine(ert_pm_index), read_codes,
+                             params)
+    key_phases = ("index_lookup", "tree_root")
+    plain_key = sum(plain.by_phase[p][0] for p in key_phases)
+    merged_key = sum(merged.by_phase[p][0] for p in key_phases)
+    assert merged_key < plain_key
+
+
+def test_cpu_throughput_regimes():
+    # Huge data per read: bandwidth roof binds.
+    bw_bound = cpu_throughput(1e6, {"occ_lookup": 10.0})
+    assert bw_bound["throughput"] == bw_bound["bandwidth_roof"]
+    # Tiny data, lots of ops: compute roof binds.
+    cpu_bound = cpu_throughput(64.0, {"occ_lookup": 1e6})
+    assert cpu_bound["throughput"] == cpu_bound["compute_roof"]
+
+
+def test_cpu_throughput_scales_with_system():
+    small = CpuSystem(peak_bw_bytes_per_s=10e9, threads=4)
+    big = CpuSystem(peak_bw_bytes_per_s=200e9, threads=72)
+    load = (70000.0, {"occ_lookup": 1000.0})
+    assert cpu_throughput(*load, system=big)["throughput"] > \
+        cpu_throughput(*load, system=small)["throughput"]
+
+
+def test_cpu_throughput_validation():
+    with pytest.raises(ValueError):
+        cpu_throughput(0, {"occ_lookup": 1.0})
+    with pytest.raises(ValueError):
+        cpu_throughput(100.0, {})
+
+
+def test_format_table_alignment():
+    text = format_table(["name", "value"],
+                        [["ert", 1234.5], ["fmd", 7.0]], title="T")
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "name" in lines[1] and "value" in lines[1]
+    assert "1,234" in text or "1234" in text
+    assert len(lines) == 5

@@ -1,0 +1,129 @@
+"""Tests for colinear seed chaining."""
+
+import pytest
+
+from repro.extend import chain_seeds
+from repro.extend.chaining import Anchor, Chain
+from repro.seeding import Seed
+
+
+def seed(start, length, hits):
+    return Seed(read_start=start, length=length, hits=tuple(hits),
+                hit_count=len(hits))
+
+
+def test_colinear_seeds_form_one_chain():
+    seeds = [seed(0, 10, [100]), seed(12, 10, [112]), seed(25, 10, [125])]
+    chains = chain_seeds(seeds)
+    assert len(chains) == 1
+    assert len(chains[0].anchors) == 3
+    assert chains[0].score == 30
+
+
+def test_distant_hits_split_chains():
+    seeds = [seed(0, 10, [100, 5000])]
+    chains = chain_seeds(seeds)
+    assert len(chains) == 2
+
+
+def test_diagonal_drift_limit():
+    # Second anchor is colinear-ish but drifted by more than the limit.
+    seeds = [seed(0, 10, [100]), seed(10, 10, [200])]
+    chains = chain_seeds(seeds, max_diag_drift=20)
+    assert len(chains) == 2
+
+
+def test_small_indel_absorbed():
+    # 3 bp drift (a small indel) stays in one chain.
+    seeds = [seed(0, 10, [100]), seed(12, 10, [115])]
+    chains = chain_seeds(seeds, max_diag_drift=20)
+    assert len(chains) == 1
+
+
+def test_chains_sorted_by_score():
+    seeds = [seed(0, 30, [100]), seed(50, 10, [5000])]
+    chains = chain_seeds(seeds)
+    assert chains[0].score >= chains[1].score
+
+
+def test_overlapping_anchor_coverage_not_double_counted():
+    chain = Chain(anchors=[Anchor(0, 100, 10), Anchor(5, 105, 10)])
+    assert chain.score == 15
+
+
+def test_truncated_hit_lists_contribute_nothing():
+    seeds = [seed(0, 10, [])]
+    assert chain_seeds(seeds) == []
+
+
+def test_max_chains_cap():
+    seeds = [seed(0, 10, [i * 1000 for i in range(30)])]
+    chains = chain_seeds(seeds, max_chains=5)
+    assert len(chains) == 5
+
+
+def test_chain_properties():
+    chain = Chain(anchors=[Anchor(2, 102, 10), Anchor(14, 114, 8)])
+    assert chain.ref_start == 102
+    assert chain.read_start == 2
+    assert chain.diagonal == 100
+
+
+def test_unknown_method_rejected():
+    with pytest.raises(ValueError):
+        chain_seeds([seed(0, 10, [100])], method="magic")
+
+
+def test_dp_matches_greedy_on_clean_colinear():
+    seeds = [seed(0, 10, [100]), seed(12, 10, [112]), seed(25, 10, [125])]
+    greedy = chain_seeds(seeds, method="greedy")
+    dp = chain_seeds(seeds, method="dp")
+    assert len(dp) == 1
+    assert dp[0].score == greedy[0].score == 30
+    assert len(dp[0].anchors) == 3
+
+
+def test_dp_empty():
+    assert chain_seeds([], method="dp") == []
+
+
+def test_dp_anchors_are_partitioned():
+    """Every anchor belongs to exactly one DP chain."""
+    seeds = [seed(0, 10, [100, 900]), seed(12, 10, [112, 912]),
+             seed(30, 10, [400])]
+    chains = chain_seeds(seeds, method="dp", max_chains=None)
+    total = sum(len(c.anchors) for c in chains)
+    assert total == 5
+
+
+def test_dp_chain_is_colinear():
+    seeds = [seed(0, 10, [100, 500]), seed(12, 10, [112, 512]),
+             seed(24, 10, [124])]
+    for chain in chain_seeds(seeds, method="dp"):
+        for a, b in zip(chain.anchors, chain.anchors[1:]):
+            assert a.ref_end <= b.ref_start
+            assert a.read_end <= b.read_start
+
+
+def test_dp_tolerates_spurious_anchor():
+    """A noise anchor interleaved on the diagonal must not break the
+    main chain (the greedy chainer can absorb it and stall)."""
+    seeds = [seed(0, 10, [100]), seed(12, 10, [112]),
+             seed(24, 10, [124]),
+             seed(5, 10, [400])]  # spurious hit elsewhere
+    dp = chain_seeds(seeds, method="dp")
+    assert dp[0].score == 30
+
+
+def test_dp_penalizes_diagonal_drift():
+    """Two placements for the second seed: the drift-free one chains."""
+    seeds = [seed(0, 20, [100]), seed(25, 20, [125, 160])]
+    dp = chain_seeds(seeds, method="dp")
+    best = dp[0]
+    assert len(best.anchors) == 2
+    assert best.anchors[1].ref_start == 125
+
+
+def test_import_of_dp_symbol():
+    from repro.extend.chaining import chain_seeds_dp
+    assert chain_seeds_dp([]) == []

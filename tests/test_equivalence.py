@@ -1,0 +1,124 @@
+"""The paper's bit-equivalence guarantee, enforced across all engines.
+
+These are the most important tests in the repository: the ERT (in every
+configuration) must produce *exactly* the seeds the FMD-index produces,
+which must match the brute-force oracle -- on fixture genomes and on
+hypothesis-fuzzed random ones.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ErtConfig, ErtSeedingEngine, build_ert
+from repro.fmindex import FmdConfig, FmdIndex, FmdSeedingEngine
+from repro.seeding import (
+    OracleEngine,
+    SeedingParams,
+    assert_equivalent,
+    compare_engines,
+    seed_read,
+)
+from repro.sequence import Reference
+
+
+def test_fmd_matches_oracle(fmd, oracle, read_codes, params):
+    assert_equivalent(oracle, fmd, read_codes, params)
+
+
+def test_ert_matches_fmd(ert, fmd, read_codes, params):
+    assert_equivalent(fmd, ert, read_codes, params)
+
+
+def test_ert_pm_matches_fmd(ert_pm, fmd, read_codes, params):
+    assert_equivalent(fmd, ert_pm, read_codes, params)
+
+
+def test_bwa_mem_layout_matches_bwa_mem2(reference, read_codes, params):
+    """Occurrence-table compression is transparent to results."""
+    mem = FmdSeedingEngine(FmdIndex(reference, FmdConfig.bwa_mem()))
+    mem2 = FmdSeedingEngine(FmdIndex(reference, FmdConfig.bwa_mem2()))
+    assert_equivalent(mem, mem2, read_codes[:10], params)
+
+
+def test_equivalence_without_pruning(ert, fmd, read_codes):
+    params = SeedingParams(min_seed_len=12, use_pruning=False)
+    assert_equivalent(fmd, ert, read_codes[:10], params)
+
+
+def test_equivalence_with_tight_hit_limit(ert, fmd, read_codes):
+    params = SeedingParams(min_seed_len=12, max_hits_per_seed=2)
+    assert_equivalent(fmd, ert, read_codes[:10], params)
+
+
+def test_compare_engines_reports_mismatch(fmd, oracle, read_codes, params):
+    """The comparator itself must detect a planted divergence."""
+
+    class Broken(OracleEngine):
+        name = "broken"
+
+        def backward_search(self, read, end, min_hits=1):
+            s = super().backward_search(read, end, min_hits)
+            return min(s + 1, end)  # systematically too short
+
+    broken = Broken(oracle.reference)
+    report = compare_engines(fmd, broken, read_codes[:5], params)
+    assert not report.equivalent
+    assert report.mismatches
+
+
+dna_text = st.text(alphabet="ACGT", min_size=60, max_size=200)
+
+
+@settings(max_examples=25, deadline=None)
+@given(dna_text, st.integers(0, 2 ** 31 - 1))
+def test_fuzzed_equivalence_oracle_fmd_ert(genome, seed):
+    """Random genome, random read (half mutated substring, half random):
+    all three engines must agree on the complete three-round output."""
+    ref = Reference.from_string(genome)
+    rng = np.random.default_rng(seed)
+    read_len = int(rng.integers(12, min(40, len(genome))))
+    if rng.random() < 0.5:
+        start = int(rng.integers(0, len(genome) - read_len + 1))
+        read = ref.codes[start:start + read_len].copy()
+        n_mut = int(rng.integers(0, 3))
+        for _ in range(n_mut):
+            i = int(rng.integers(0, read_len))
+            read[i] = (read[i] + int(rng.integers(1, 4))) % 4
+    else:
+        read = rng.integers(0, 4, size=read_len, dtype=np.uint8)
+
+    params = SeedingParams(min_seed_len=6)
+    oracle = OracleEngine(ref)
+    fmd = FmdSeedingEngine(FmdIndex(ref))
+    ert = ErtSeedingEngine(build_ert(ref, ErtConfig(
+        k=4, max_seed_len=64, table_threshold=8, table_x=2)))
+    ert_pm = ErtSeedingEngine(build_ert(ref, ErtConfig(
+        k=4, max_seed_len=64, table_threshold=8, table_x=2,
+        prefix_merging=True)))
+
+    want = seed_read(oracle, read, params).key()
+    assert seed_read(fmd, read, params).key() == want
+    assert seed_read(ert, read, params).key() == want
+    assert seed_read(ert_pm, read, params).key() == want
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(0, 2 ** 31 - 1))
+def test_fuzzed_low_complexity_genomes(seed):
+    """Highly repetitive genomes (tandem soup) stress leaf gathering,
+    ended-at-text-boundary paths and the hit-limit contract."""
+    rng = np.random.default_rng(seed)
+    motif = "".join("ACGT"[int(c)] for c in rng.integers(0, 4, size=3))
+    genome = (motif * 40)[:100] + "".join(
+        "ACGT"[int(c)] for c in rng.integers(0, 4, size=60))
+    ref = Reference.from_string(genome)
+    read = ref.codes[10:40].copy()
+
+    params = SeedingParams(min_seed_len=6, max_hits_per_seed=10)
+    oracle = OracleEngine(ref)
+    ert = ErtSeedingEngine(build_ert(ref, ErtConfig(
+        k=4, max_seed_len=48, table_threshold=8, table_x=2)))
+    assert seed_read(ert, read, params).key() == \
+        seed_read(oracle, read, params).key()

@@ -1,0 +1,199 @@
+"""Tests for ERT construction: entry metadata, trees, tables, sizes."""
+
+import numpy as np
+import pytest
+
+from repro.core import ErtConfig, EntryKind, build_ert
+from repro.core.builder import rolling_codes
+from repro.core.nodes import DivergeNode, LeafNode, UniformNode
+from repro.seeding.oracle import count_occurrences
+from repro.sequence import GenomeSimulator, Reference
+from repro.sequence.alphabet import decode
+
+
+@pytest.fixture(scope="module")
+def ref():
+    return GenomeSimulator(seed=31).generate(2000)
+
+
+@pytest.fixture(scope="module")
+def index(ref):
+    return build_ert(ref, ErtConfig(k=5, max_seed_len=60,
+                                    table_threshold=16, table_x=2))
+
+
+def test_rolling_codes_known():
+    text = np.array([0, 1, 2, 3], dtype=np.uint8)  # ACGT
+    codes = rolling_codes(text, 2)
+    assert codes.tolist() == [0b0001, 0b0110, 0b1011]
+
+
+def test_rolling_codes_short_text():
+    assert rolling_codes(np.array([1], dtype=np.uint8), 3).size == 0
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        ErtConfig(k=1)
+    with pytest.raises(ValueError):
+        ErtConfig(k=8, max_seed_len=8)
+    with pytest.raises(ValueError):
+        ErtConfig(table_x=0)
+
+
+def test_entry_counts_match_brute_force(ref, index):
+    text = decode(ref.both_strands)
+    k = index.config.k
+    rng = np.random.default_rng(1)
+    for _ in range(30):
+        code = int(rng.integers(0, 4 ** k))
+        kmer = "".join("ACGT"[(code >> (2 * (k - 1 - j))) & 3]
+                       for j in range(k))
+        assert int(index.kmer_count[code]) == count_occurrences(text, kmer)
+
+
+def test_prefix_len_matches_brute_force(ref, index):
+    text = decode(ref.both_strands)
+    k = index.config.k
+    rng = np.random.default_rng(2)
+    for _ in range(30):
+        code = int(rng.integers(0, 4 ** k))
+        kmer = "".join("ACGT"[(code >> (2 * (k - 1 - j))) & 3]
+                       for j in range(k))
+        expected = 0
+        for length in range(1, k + 1):
+            if count_occurrences(text, kmer[:length]) == 0:
+                break
+            expected = length
+        assert int(index.prefix_len[code]) == expected
+
+
+def test_lep_bits_match_brute_force(ref, index):
+    """Bit l-1 set iff count changes when the match grows from l to l+1."""
+    text = decode(ref.both_strands)
+    k = index.config.k
+    rng = np.random.default_rng(3)
+    for _ in range(30):
+        code = int(rng.integers(0, 4 ** k))
+        kmer = "".join("ACGT"[(code >> (2 * (k - 1 - j))) & 3]
+                       for j in range(k))
+        bits = int(index.lep_bits[code])
+        for length in range(1, k):
+            expected = (count_occurrences(text, kmer[:length + 1])
+                        != count_occurrences(text, kmer[:length]))
+            assert bool((bits >> (length - 1)) & 1) == expected, (kmer, length)
+
+
+def test_entry_kinds_consistent(index):
+    kinds = index.entry_kind
+    counts = index.kmer_count
+    assert np.all((kinds == EntryKind.EMPTY) == (counts == 0))
+    for code, root in index.roots.items():
+        if kinds[code] == EntryKind.LEAF:
+            assert isinstance(root, LeafNode)
+        if kinds[code] == EntryKind.TABLE:
+            assert counts[code] > index.config.table_threshold
+            assert index.tables[code] is not None
+            assert len(index.tables[code]) == 4 ** index.config.table_x
+
+
+def test_tree_counts_sum(index):
+    """Every node's count equals the occurrences below it."""
+    def check(node):
+        if isinstance(node, LeafNode):
+            assert node.count == len(node.positions)
+            return node.count
+        if isinstance(node, UniformNode):
+            below = check(node.child)
+            assert node.count == below
+            return below
+        assert isinstance(node, DivergeNode)
+        below = len(node.ended) + sum(check(c)
+                                      for c in node.children_nodes())
+        assert node.count == below
+        return below
+
+    for code, root in index.roots.items():
+        assert check(root) == int(index.kmer_count[code])
+
+
+def test_tree_paths_spell_reference_substrings(ref, index):
+    """Every root-to-leaf path must spell a string present in the text."""
+    text = ref.both_strands
+    k = index.config.k
+
+    def leaf_positions_consistent(node, depth):
+        if isinstance(node, LeafNode):
+            # All occurrences share the suffix read from positions[0].
+            p0 = node.positions[0]
+            for p in node.positions:
+                length = min(text.size - (p + k + depth),
+                             text.size - (p0 + k + depth),
+                             index.config.max_ext - depth)
+                if length > 0:
+                    assert np.array_equal(
+                        text[p + k + depth:p + k + depth + length],
+                        text[p0 + k + depth:p0 + k + depth + length])
+        elif isinstance(node, UniformNode):
+            leaf_positions_consistent(node.child,
+                                      depth + int(node.chars.size))
+        else:
+            for c, child in node.children.items():
+                leaf_positions_consistent(child, depth + 1)
+
+    for root in list(index.roots.values())[:200]:
+        leaf_positions_consistent(root, 0)
+
+
+def test_uniform_nodes_are_singleton_paths(index):
+    """UNIFORM nodes must never hide a divergence."""
+    text = index.text
+    k = index.config.k
+
+    def check(node, depth):
+        if isinstance(node, UniformNode):
+            # Gather any leaf position below and verify the run.
+            probe = node
+            while not isinstance(probe, LeafNode):
+                if isinstance(probe, UniformNode):
+                    probe = probe.child
+                else:
+                    probe = next(iter(probe.children.values()), None)
+                    if probe is None:
+                        return
+            p = probe.positions[0]
+            # The uniform characters must appear in the text at the right
+            # offset for this occurrence.
+            check(node.child, depth + int(node.chars.size))
+        elif isinstance(node, DivergeNode):
+            assert len(node.children) + (1 if node.ended else 0) >= 2 or \
+                node.ended
+            for child in node.children.values():
+                check(child, depth + 1)
+
+    for root in list(index.roots.values())[:100]:
+        check(root, 0)
+
+
+def test_index_bytes_structure(index):
+    sizes = index.index_bytes()
+    assert sizes["index_table"] == 4 ** index.config.k * 8
+    assert sizes["total"] == sum(v for key, v in sizes.items()
+                                 if key != "total")
+    assert sizes["trees"] > 0
+
+
+def test_ert_trades_space_for_bandwidth(ref):
+    """Fig 1b: the ERT index is much larger than the FMD-index."""
+    from repro.fmindex import FmdConfig, FmdIndex
+    ert = build_ert(ref, ErtConfig(k=5, max_seed_len=60))
+    fmd = FmdIndex(ref, FmdConfig.bwa_mem2())
+    assert ert.index_bytes()["total"] > fmd.index_bytes()["total"]
+
+
+def test_multilevel_off_has_no_tables(ref):
+    index = build_ert(ref, ErtConfig(k=5, max_seed_len=60,
+                                     multilevel=False))
+    assert not index.tables
+    assert not np.any(index.entry_kind == EntryKind.TABLE)
+    assert index.tables_region.size == 0

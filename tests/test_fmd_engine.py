@@ -1,0 +1,67 @@
+"""Per-function tests of the FMD engine against the oracle engine."""
+
+import pytest
+
+from repro.fmindex import FmdConfig, FmdIndex, FmdSeedingEngine
+
+
+def test_forward_search_matches_oracle(fmd, oracle, read_codes):
+    for read in read_codes[:10]:
+        for start in range(0, len(read) - 1, 7):
+            a = fmd.forward_search(read, start)
+            b = oracle.forward_search(read, start)
+            assert (a.end, a.leps) == (b.end, b.leps), start
+
+
+def test_forward_search_min_hits(fmd, oracle, read_codes):
+    for read in read_codes[:5]:
+        for start in (0, 17, 33):
+            for min_hits in (2, 3, 6):
+                a = fmd.forward_search(read, start, min_hits)
+                b = oracle.forward_search(read, start, min_hits)
+                assert (a.end, a.leps) == (b.end, b.leps)
+
+
+def test_backward_search_matches_oracle(fmd, oracle, read_codes):
+    for read in read_codes[:10]:
+        for end in range(5, len(read), 9):
+            assert fmd.backward_search(read, end) == \
+                oracle.backward_search(read, end)
+
+
+def test_backward_search_min_hits(fmd, oracle, read_codes):
+    for read in read_codes[:5]:
+        for end in (15, 40, 79):
+            for min_hits in (2, 4):
+                assert fmd.backward_search(read, end, min_hits) == \
+                    oracle.backward_search(read, end, min_hits)
+
+
+def test_last_seed_matches_oracle(fmd, oracle, read_codes):
+    for read in read_codes[:8]:
+        for start in range(0, len(read) - 10, 11):
+            for max_intv in (2, 10, 50):
+                assert fmd.last_seed(read, start, 10, max_intv) == \
+                    oracle.last_seed(read, start, 10, max_intv)
+
+
+def test_locate_matches_oracle(fmd, oracle, read_codes):
+    for read in read_codes[:5]:
+        for start, end in [(0, 12), (10, 30), (5, 20)]:
+            a = fmd.locate(read, start, end)
+            b = oracle.locate(read, start, end)
+            assert a[0] == b[0]
+            assert list(a[1]) == list(b[1])
+
+
+def test_engine_name_includes_layout(reference):
+    mem = FmdSeedingEngine(FmdIndex(reference, FmdConfig.bwa_mem()))
+    mem2 = FmdSeedingEngine(FmdIndex(reference, FmdConfig.bwa_mem2()))
+    assert mem.name == "fmd-bwa-mem"
+    assert mem2.name == "fmd-bwa-mem2"
+
+
+def test_occ_queries_counted(fmd, read_codes):
+    fmd.reset_stats()
+    fmd.forward_search(read_codes[0], 0)
+    assert fmd.stats.occ_queries > 0

@@ -1,0 +1,109 @@
+"""Tests for the hash-table seeding baseline (§VII comparison)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import HashSeedIndex, HashSeeder
+from repro.baselines.hashseed import HashSeedConfig
+from repro.memsim import MemoryTracer
+from repro.seeding.oracle import count_occurrences, find_occurrences
+from repro.sequence import GenomeSimulator, ReadSimulator
+from repro.sequence.alphabet import decode
+
+
+@pytest.fixture(scope="module")
+def setup():
+    ref = GenomeSimulator(seed=141).generate(4000)
+    index = HashSeedIndex(ref, HashSeedConfig(k=10))
+    return ref, index
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        HashSeedConfig(k=2)
+    with pytest.raises(ValueError):
+        HashSeedConfig(stride=0)
+
+
+def test_buckets_match_brute_force(setup):
+    ref, index = setup
+    text = decode(ref.both_strands)
+    rng = np.random.default_rng(1)
+    for _ in range(25):
+        start = int(rng.integers(0, len(text) - 10))
+        kmer = text[start:start + 10]
+        code = 0
+        for ch in kmer:
+            code = (code << 2) | "ACGT".index(ch)
+        assert index.buckets[code].tolist() == find_occurrences(text, kmer)
+
+
+def test_every_window_of_a_perfect_read_hits(setup):
+    ref, index = setup
+    read = ReadSimulator(ref, read_length=60, error_read_fraction=0.0,
+                         seed=2).simulate(1)[0]
+    result = HashSeeder(index).seed_read(read.codes)
+    assert len(result.smems) == 60 - 10 + 1
+    text = decode(ref.both_strands)
+    for seed in result.smems:
+        window = read.sequence[seed.read_start:seed.read_start + 10]
+        assert seed.hit_count == count_occurrences(text, window)
+        if seed.hits:
+            assert all(text[h:h + 10] == window for h in seed.hits)
+
+
+def test_stride_reduces_lookups(setup):
+    ref, _ = setup
+    dense = HashSeedIndex(ref, HashSeedConfig(k=10, stride=1))
+    sparse = HashSeedIndex(ref, HashSeedConfig(k=10, stride=5))
+    read = ReadSimulator(ref, read_length=60, seed=3).simulate(1)[0]
+    n_dense = len(HashSeeder(dense).seed_read(read.codes).smems)
+    n_sparse = len(HashSeeder(sparse).seed_read(read.codes).smems)
+    assert n_sparse < n_dense
+
+
+def test_hash_seeding_floods_compared_to_smems(setup):
+    """The quantitative version of the paper's §VII argument: hash
+    seeding emits many more seeds per read than SMEM seeding."""
+    from repro.fmindex import FmdIndex, FmdSeedingEngine
+    from repro.seeding import SeedingParams, seed_read
+
+    ref, index = setup
+    smem_engine = FmdSeedingEngine(FmdIndex(ref))
+    params = SeedingParams(min_seed_len=12)
+    reads = ReadSimulator(ref, read_length=60, seed=4).simulate(10)
+    hash_total = smem_total = 0
+    for read in reads:
+        hash_total += len(HashSeeder(index).seed_read(read.codes).smems)
+        smem_total += len(seed_read(smem_engine, read.codes,
+                                    params).all_seeds)
+    assert hash_total > 3 * smem_total
+
+
+def test_traffic_recorded(setup):
+    ref, index = setup
+    tracer = MemoryTracer()
+    index.attach_tracer(tracer)
+    try:
+        read = ReadSimulator(ref, read_length=60, seed=5).simulate(1)[0]
+        HashSeeder(index).seed_read(read.codes)
+    finally:
+        index.attach_tracer(None)
+    assert tracer.by_phase["hash_bucket"].requests >= 51
+    assert tracer.by_phase["hash_positions"].requests >= 1
+
+
+def test_index_bytes(setup):
+    _ref, index = setup
+    sizes = index.index_bytes()
+    assert sizes["headers"] == 4 ** 10 * 8
+    assert sizes["total"] == sizes["headers"] + sizes["positions"]
+
+
+def test_missing_kmer_empty(setup):
+    _ref, index = setup
+    # Walk codes until one is absent (tiny genome, 4^10 space).
+    for code in range(4 ** 10):
+        if code not in index.buckets:
+            assert index.lookup(code).size == 0
+            break

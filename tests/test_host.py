@@ -1,0 +1,73 @@
+"""Tests for the host-accelerator runtime model (§IV-E)."""
+
+import pytest
+
+from repro.accel.host import (
+    HostConfig,
+    HostModel,
+    HostRunEstimate,
+    result_record_bytes,
+)
+from repro.seeding.types import Seed, SeedingResult
+
+
+def test_transfer_time_scales_linearly():
+    model = HostModel()
+    assert model.transfer_seconds(2000) == pytest.approx(
+        2 * model.transfer_seconds(1000))
+
+
+def test_double_buffering_hides_transfers():
+    slow_pcie = HostConfig(pcie_bytes_per_s=1e9, double_buffered=True)
+    serial = HostConfig(pcie_bytes_per_s=1e9, double_buffered=False)
+    overlapped = HostModel(slow_pcie).estimate(1_000_000, 3e6)
+    sequential = HostModel(serial).estimate(1_000_000, 3e6)
+    assert overlapped.seconds < sequential.seconds
+    assert overlapped.overlap_efficiency > 1.0
+
+
+def test_compute_bound_when_pcie_is_fast():
+    estimate = HostModel(HostConfig(pcie_bytes_per_s=1e12)).estimate(
+        1_000_000, 3e6)
+    assert estimate.seconds == pytest.approx(estimate.compute_seconds,
+                                             rel=0.05)
+    assert estimate.reads_per_second == pytest.approx(3e6, rel=0.05)
+
+
+def test_transfer_bound_when_pcie_is_slow():
+    estimate = HostModel(HostConfig(pcie_bytes_per_s=1e8)).estimate(
+        1_000_000, 3e6)
+    assert estimate.reads_per_second < 3e6 / 2
+
+
+def test_overflow_accounting():
+    config = HostConfig(result_buffer_bytes=100,
+                        overflow_host_seconds=1e-3)
+    model = HostModel(config)
+    sizes = [10, 20, 500, 800]  # half overflow
+    with_overflow = model.estimate(1000, 1e6, result_bytes_by_read=sizes)
+    without = model.estimate(1000, 1e6, result_bytes_by_read=[10, 20])
+    assert with_overflow.overflow_reads == 500
+    assert with_overflow.seconds > without.seconds
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        HostConfig(pcie_bytes_per_s=0)
+    with pytest.raises(ValueError):
+        HostConfig(batch_size=0)
+
+
+def test_result_record_bytes():
+    result = SeedingResult(smems=[
+        Seed(0, 20, (5, 9), 2),
+        Seed(30, 25, (), 600),
+    ])
+    assert result_record_bytes(result) == (8 + 8) + (8 + 0)
+
+
+def test_estimate_zero_guard():
+    estimate = HostRunEstimate(n_reads=0, seconds=0.0, compute_seconds=0.0,
+                               transfer_seconds=0.0, overflow_reads=0)
+    assert estimate.reads_per_second == float("inf")
+    assert estimate.overlap_efficiency == 1.0

@@ -1,0 +1,88 @@
+"""Unit tests for FASTA/FASTQ I/O."""
+
+import pytest
+
+from repro.sequence import (
+    GenomeSimulator,
+    ReadSimulator,
+    read_fasta,
+    read_fastq,
+    write_fasta,
+    write_fastq,
+)
+from repro.sequence.io import FastaError
+
+
+def test_fasta_roundtrip(tmp_path):
+    refs = [GenomeSimulator(seed=i).generate(500, name=f"chr{i}")
+            for i in range(3)]
+    path = tmp_path / "ref.fa"
+    write_fasta(path, refs, width=60)
+    back = read_fasta(path)
+    assert [r.name for r in back] == ["chr0", "chr1", "chr2"]
+    for a, b in zip(refs, back):
+        assert a.sequence == b.sequence
+
+
+def test_fasta_wrapping(tmp_path):
+    ref = GenomeSimulator(seed=1).generate(150)
+    path = tmp_path / "ref.fa"
+    write_fasta(path, [ref], width=50)
+    lines = path.read_text().splitlines()
+    assert lines[0].startswith(">")
+    assert all(len(line) <= 50 for line in lines[1:])
+
+
+def test_fasta_rejects_headerless(tmp_path):
+    path = tmp_path / "bad.fa"
+    path.write_text("ACGT\n")
+    with pytest.raises(FastaError):
+        read_fasta(path)
+
+
+def test_fasta_rejects_empty_record(tmp_path):
+    path = tmp_path / "bad.fa"
+    path.write_text(">a\n>b\nACGT\n")
+    with pytest.raises(FastaError):
+        read_fasta(path)
+
+
+def test_fasta_rejects_empty_file(tmp_path):
+    path = tmp_path / "empty.fa"
+    path.write_text("")
+    with pytest.raises(FastaError):
+        read_fasta(path)
+
+
+def test_fastq_roundtrip(tmp_path):
+    ref = GenomeSimulator(seed=2).generate(1000)
+    reads = ReadSimulator(ref, read_length=40, seed=3).simulate(10)
+    path = tmp_path / "reads.fq"
+    write_fastq(path, reads)
+    back = read_fastq(path)
+    assert len(back) == 10
+    for a, b in zip(reads, back):
+        assert a.name == b.name
+        assert a.sequence == b.sequence
+        assert a.quality == b.quality
+
+
+def test_fastq_rejects_truncated(tmp_path):
+    path = tmp_path / "bad.fq"
+    path.write_text("@r1\nACGT\n+\n")
+    with pytest.raises(FastaError):
+        read_fastq(path)
+
+
+def test_fastq_rejects_length_mismatch(tmp_path):
+    path = tmp_path / "bad.fq"
+    path.write_text("@r1\nACGT\n+\nII\n")
+    with pytest.raises(FastaError):
+        read_fastq(path)
+
+
+def test_fastq_rejects_bad_separator(tmp_path):
+    path = tmp_path / "bad.fq"
+    path.write_text("@r1\nACGT\nX\nIIII\n")
+    with pytest.raises(FastaError):
+        read_fastq(path)

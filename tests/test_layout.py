@@ -1,0 +1,111 @@
+"""Tests for node serialization and the tiled layout (§III-D)."""
+
+import numpy as np
+import pytest
+
+from repro.core import ErtConfig, LayoutPolicy, build_ert
+from repro.core.layout import LayoutStats, layout_tree, node_size
+from repro.core.nodes import DivergeNode, LeafNode, UniformNode
+from repro.sequence import GenomeSimulator
+
+
+def make_leaf(n=1, prefix_merging=False):
+    return LeafNode(tuple(range(n)), tuple([-1] * n))
+
+
+def test_node_sizes():
+    leaf = make_leaf(1)
+    assert node_size(leaf, prefix_merging=False) == 3 + 4
+    assert node_size(leaf, prefix_merging=True) == 3 + 4 + 1 + 1
+    leaf3 = make_leaf(3)
+    assert node_size(leaf3, prefix_merging=False) == 3 + 12
+    uniform = UniformNode(np.array([0, 1, 2, 3, 0], dtype=np.uint8),
+                          make_leaf(), 1)
+    assert node_size(uniform, prefix_merging=False) == 9 + 2
+    diverge = DivergeNode({0: make_leaf(), 2: make_leaf()}, (5,), 3)
+    assert node_size(diverge, prefix_merging=False) == 5 + 8 + 4
+
+
+def _forest(reference, policy):
+    config = ErtConfig(k=5, max_seed_len=60, layout=policy)
+    return build_ert(reference, config)
+
+
+@pytest.fixture(scope="module")
+def reference():
+    return GenomeSimulator(seed=51).generate(2500)
+
+
+@pytest.mark.parametrize("policy", list(LayoutPolicy))
+def test_offsets_are_disjoint(reference, policy):
+    """No two nodes of a tree may overlap in the serialized blob."""
+    index = _forest(reference, policy)
+    for root in list(index.roots.values())[:150]:
+        spans = []
+        stack = [root]
+        while stack:
+            node = stack.pop()
+            assert node.offset >= 0
+            spans.append((node.offset, node.offset + node.nbytes))
+            stack.extend(node.children_nodes())
+        spans.sort()
+        for (a_start, a_end), (b_start, _b_end) in zip(spans, spans[1:]):
+            assert a_end <= b_start
+
+
+@pytest.mark.parametrize("policy", list(LayoutPolicy))
+def test_blob_contains_all_nodes(reference, policy):
+    index = _forest(reference, policy)
+    for code, root in list(index.roots.items())[:150]:
+        stack = [root]
+        while stack:
+            node = stack.pop()
+            assert node.offset + node.nbytes <= index.trees_region.size
+            stack.extend(node.children_nodes())
+
+
+def test_tiled_beats_bfs_on_walk_locality(reference, read_codes=None):
+    """A root-to-leaf walk under the tiled layout must touch no more
+    distinct lines than under BFS, and strictly fewer in aggregate."""
+    tiled = _forest(reference, LayoutPolicy.TILED)
+    bfs = _forest(reference, LayoutPolicy.BFS)
+
+    def walk_lines(index):
+        total = 0
+        for code, root in index.roots.items():
+            lines = set()
+            node = root
+            # Follow an arbitrary deep path.
+            while True:
+                base = index.tree_base[code] + node.offset
+                lines.update(range(base // 64,
+                                   (base + max(node.nbytes, 1) - 1) // 64 + 1))
+                kids = node.children_nodes()
+                if not kids:
+                    break
+                node = kids[0]
+            total += len(lines)
+        return total
+
+    assert walk_lines(tiled) <= walk_lines(bfs)
+
+
+def test_layout_stats(reference):
+    index = _forest(reference, LayoutPolicy.TILED)
+    stats = index.layout_stats
+    assert stats.n_nodes > 0
+    assert stats.n_tiles > 0
+    assert stats.total_bytes == index.trees_region.size
+    assert stats.mean_nodes_per_tile >= 1.0
+
+
+def test_prefix_merging_increases_leaf_bytes(reference):
+    plain = build_ert(reference, ErtConfig(k=5, max_seed_len=60))
+    merged = build_ert(reference, ErtConfig(k=5, max_seed_len=60,
+                                            prefix_merging=True))
+    assert merged.index_bytes()["trees"] > plain.index_bytes()["trees"]
+
+
+def test_unknown_node_type_rejected():
+    with pytest.raises(TypeError):
+        node_size(object(), prefix_merging=False)

@@ -1,0 +1,97 @@
+"""Tests for multi-contig references."""
+
+import numpy as np
+import pytest
+
+from repro.sequence import GenomeSimulator, Reference, Strand
+from repro.sequence.alphabet import decode, revcomp
+from repro.sequence.multi import MultiReference
+
+
+@pytest.fixture()
+def multi():
+    contigs = [GenomeSimulator(seed=i).generate(400 + 100 * i,
+                                                name=f"chr{i + 1}")
+               for i in range(3)]
+    return MultiReference(contigs)
+
+
+def test_concatenation(multi):
+    assert len(multi) == 400 + 500 + 600
+    joined = "".join(c.sequence for c in multi.contigs)
+    assert multi.concatenated.sequence == joined
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        MultiReference([])
+    a = Reference.from_string("ACGT", name="x")
+    b = Reference.from_string("TTTT", name="x")
+    with pytest.raises(ValueError):
+        MultiReference([a, b])
+
+
+def test_contig_of(multi):
+    contig, base = multi.contig_of(0)
+    assert contig.name == "chr1" and base == 0
+    contig, base = multi.contig_of(400)
+    assert contig.name == "chr2" and base == 400
+    contig, base = multi.contig_of(1499)
+    assert contig.name == "chr3" and base == 900
+    with pytest.raises(ValueError):
+        multi.contig_of(1500)
+
+
+def test_resolve_forward(multi):
+    hit = multi.resolve(450, 30)
+    assert hit.contig == "chr2"
+    assert hit.strand is Strand.FORWARD
+    assert hit.start == 50 and hit.length == 30
+    # Sequence must actually match.
+    contig = multi.contigs[1]
+    assert decode(contig.codes[50:80]) == \
+        decode(multi.concatenated.both_strands[450:480])
+
+
+def test_resolve_reverse(multi):
+    n = len(multi)
+    # Reverse-strand position corresponding to chr1 forward [100, 130).
+    x_pos = 2 * n - 100 - 30
+    hit = multi.resolve(x_pos, 30)
+    assert hit.contig == "chr1"
+    assert hit.strand is Strand.REVERSE
+    assert hit.start == 100
+    fwd = decode(multi.contigs[0].codes[100:130])
+    assert revcomp(fwd) == decode(
+        multi.concatenated.both_strands[x_pos:x_pos + 30])
+
+
+def test_resolve_contig_junction_is_none(multi):
+    assert multi.resolve(395, 10) is None
+
+
+def test_resolve_strand_junction_is_none(multi):
+    n = len(multi)
+    assert multi.resolve(n - 5, 10) is None
+
+
+def test_sam_header(multi):
+    lines = multi.sam_header_lines()
+    assert lines[0].startswith("@HD")
+    assert sum(1 for line in lines if line.startswith("@SQ")) == 3
+    assert "SN:chr2\tLN:500" in lines[2]
+
+
+def test_seeding_over_multireference(multi):
+    """The index structures work unchanged over the concatenated text."""
+    from repro.core import ErtConfig, ErtSeedingEngine, build_ert
+    from repro.seeding import OracleEngine, SeedingParams, assert_equivalent
+    from repro.sequence import ReadSimulator
+
+    reference = multi.concatenated
+    engine = ErtSeedingEngine(build_ert(reference, ErtConfig(
+        k=5, max_seed_len=80)))
+    oracle = OracleEngine(reference)
+    reads = [r.codes for r in
+             ReadSimulator(reference, read_length=50, seed=9).simulate(8)]
+    assert_equivalent(oracle, engine, reads, SeedingParams(min_seed_len=10))

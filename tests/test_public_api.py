@@ -1,0 +1,51 @@
+"""The public API surface: everything advertised must import and work."""
+
+import importlib
+
+import pytest
+
+
+def test_top_level_reexports():
+    import repro
+
+    for name in repro.__all__:
+        assert hasattr(repro, name), name
+    assert repro.__version__
+
+
+@pytest.mark.parametrize("module", [
+    "repro.sequence", "repro.fmindex", "repro.seeding", "repro.core",
+    "repro.memsim", "repro.accel", "repro.extend", "repro.analysis",
+    "repro.baselines", "repro.cli",
+])
+def test_subpackage_all_is_importable(module):
+    mod = importlib.import_module(module)
+    for name in getattr(mod, "__all__", []):
+        assert hasattr(mod, name), f"{module}.{name}"
+
+
+def test_minimal_workflow_through_top_level():
+    """The README quickstart, via top-level imports only."""
+    import repro
+
+    reference = repro.GenomeSimulator(seed=7).generate(1500)
+    engine = repro.ErtSeedingEngine(
+        repro.build_ert(reference, repro.ErtConfig(k=5, max_seed_len=80)))
+    read = repro.ReadSimulator(reference, read_length=50,
+                               seed=8).simulate(1)[0]
+    result = repro.seed_read(engine, read.codes,
+                             repro.SeedingParams(min_seed_len=10))
+    assert result.all_seeds
+
+
+def test_examples_run(tmp_path):
+    """The fast examples must execute cleanly end to end."""
+    import subprocess
+    import sys
+    from pathlib import Path
+
+    examples = Path(__file__).parent.parent / "examples"
+    for script in ("smem_walkthrough.py", "quickstart.py"):
+        proc = subprocess.run([sys.executable, str(examples / script)],
+                              capture_output=True, text=True, timeout=600)
+        assert proc.returncode == 0, proc.stderr[-2000:]

@@ -1,0 +1,63 @@
+"""Tests for the seeding QC summaries."""
+
+import pytest
+
+from repro.analysis.qc import SeedingQc, seeding_qc
+from repro.seeding import Seed, SeedingResult, seed_read
+
+
+def make_result(*seeds):
+    return SeedingResult(smems=list(seeds))
+
+
+def test_empty_batch():
+    qc = seeding_qc([], [])
+    assert qc.reads == 0
+    assert qc.mean_seeds_per_read == 0.0
+    assert qc.mean_read_coverage == 0.0
+    assert qc.unique_fraction == 0.0
+
+
+def test_length_mismatch_rejected():
+    with pytest.raises(ValueError):
+        seeding_qc([SeedingResult()], [50, 60])
+
+
+def test_basic_aggregation():
+    r1 = make_result(Seed(0, 20, (5,), 1), Seed(30, 25, (), 500))
+    r2 = SeedingResult()
+    qc = seeding_qc([r1, r2], [60, 60], repetitive_threshold=100)
+    assert qc.reads == 2
+    assert qc.reads_without_seeds == 1
+    assert qc.total_seeds == 2
+    assert qc.mean_seeds_per_read == 1.0
+    assert qc.unique_hit_seeds == 1
+    assert qc.repetitive_seeds == 1
+    assert qc.seed_length_histogram == {20: 1, 25: 1}
+    assert qc.seeds_per_read_histogram == {2: 1, 0: 1}
+    # Coverage of r1: [0,20) + [30,55) = 45/60; r2: 0.
+    assert qc.mean_read_coverage == pytest.approx((45 / 60) / 2)
+
+
+def test_overlapping_seeds_not_double_counted():
+    result = make_result(Seed(0, 30, (1,), 1), Seed(10, 30, (2,), 1))
+    qc = seeding_qc([result], [40])
+    assert qc.mean_read_coverage == pytest.approx(1.0)
+
+
+def test_format_output():
+    qc = SeedingQc(reads=3, total_seeds=6, unique_hit_seeds=3,
+                   coverage_sum=1.5)
+    text = qc.format()
+    assert "seeds/read (mean)    : 2.00" in text
+    assert "50.0%" in text
+
+
+def test_qc_on_real_engine(ert, read_codes, params):
+    results = [seed_read(ert, read, params) for read in read_codes[:10]]
+    qc = seeding_qc(results, [len(r) for r in read_codes[:10]])
+    assert qc.reads == 10
+    assert qc.total_seeds > 0
+    # Simulated reads mostly match somewhere: high coverage, few empties.
+    assert qc.mean_read_coverage > 0.8
+    assert qc.reads_without_seeds <= 1

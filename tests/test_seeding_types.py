@@ -1,0 +1,52 @@
+"""Unit tests for seeding value types."""
+
+import pytest
+
+from repro.seeding import Mem, Seed, SeedingResult
+
+
+def test_mem_validation():
+    with pytest.raises(ValueError):
+        Mem(5, 5)
+    with pytest.raises(ValueError):
+        Mem(-1, 3)
+    with pytest.raises(ValueError):
+        Mem(7, 3)
+
+
+def test_mem_length_and_containment():
+    outer = Mem(2, 10)
+    inner = Mem(3, 9)
+    assert outer.length == 8
+    assert outer.contains(inner)
+    assert outer.contains(outer)
+    assert not inner.contains(outer)
+    assert not Mem(0, 5).contains(Mem(3, 7))
+
+
+def test_mem_ordering():
+    assert sorted([Mem(3, 5), Mem(1, 9), Mem(1, 4)]) == [
+        Mem(1, 4), Mem(1, 9), Mem(3, 5)]
+
+
+def test_seed_properties():
+    seed = Seed(read_start=4, length=10, hits=(7, 20), hit_count=2)
+    assert seed.read_end == 14
+    assert seed.interval == Mem(4, 14)
+
+
+def test_result_all_seeds_dedup_and_sort():
+    a = Seed(0, 10, (1,), 1)
+    dup = Seed(0, 10, (1,), 1)
+    b = Seed(5, 12, (2,), 1)
+    result = SeedingResult(smems=[b, a], reseed_seeds=[dup], last_seeds=[])
+    seeds = result.all_seeds
+    assert [(s.read_start, s.length) for s in seeds] == [(0, 10), (5, 12)]
+
+
+def test_result_key_is_canonical():
+    a = Seed(0, 10, (1, 5), 2)
+    b = Seed(5, 12, (2,), 1)
+    r1 = SeedingResult(smems=[a, b])
+    r2 = SeedingResult(smems=[b], last_seeds=[a])
+    assert r1.key() == r2.key()

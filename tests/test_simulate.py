@@ -1,0 +1,112 @@
+"""Unit tests for the genome and read simulators."""
+
+import numpy as np
+import pytest
+
+from repro.sequence import GenomeSimulator, ReadSimulator, Strand
+from repro.sequence.alphabet import decode, revcomp
+
+
+def test_genome_length_and_alphabet():
+    ref = GenomeSimulator(seed=1).generate(5000)
+    assert len(ref) == 5000
+    assert ref.codes.max() <= 3
+
+
+def test_genome_rejects_tiny():
+    with pytest.raises(ValueError):
+        GenomeSimulator(seed=1).generate(50)
+
+
+def test_genome_deterministic_per_seed():
+    a = GenomeSimulator(seed=7).generate(2000)
+    b = GenomeSimulator(seed=7).generate(2000)
+    c = GenomeSimulator(seed=8).generate(2000)
+    assert np.array_equal(a.codes, b.codes)
+    assert not np.array_equal(a.codes, c.codes)
+
+
+def test_genome_is_repetitive():
+    """Planted repeats must make the genome measurably more repetitive
+    than a uniform random string (this skew is what Fig 8 depends on)."""
+    k = 10
+    ref = GenomeSimulator(seed=2).generate(20000)
+    rng = np.random.default_rng(2)
+    rand = rng.integers(0, 4, size=20000, dtype=np.uint8)
+
+    def distinct_kmers(codes):
+        packed = np.zeros(codes.size - k + 1, dtype=np.int64)
+        for j in range(k):
+            packed <<= 2
+            packed |= codes[j:codes.size - k + 1 + j]
+        return np.unique(packed).size
+
+    assert distinct_kmers(ref.codes) < distinct_kmers(rand)
+
+
+def test_reads_shape_and_origin():
+    ref = GenomeSimulator(seed=3).generate(4000)
+    sim = ReadSimulator(ref, read_length=70, error_read_fraction=0.0, seed=4)
+    reads = sim.simulate(50)
+    assert len(reads) == 50
+    for read in reads:
+        assert len(read) == 70
+        assert read.strand in (Strand.FORWARD, Strand.REVERSE)
+        assert 0 <= read.origin <= len(ref) - 70
+
+
+def test_perfect_reads_match_reference():
+    ref = GenomeSimulator(seed=5).generate(4000)
+    sim = ReadSimulator(ref, read_length=60, error_read_fraction=0.0, seed=6)
+    for read in sim.simulate(30):
+        fwd = decode(ref.codes[read.origin:read.origin + 60])
+        if read.strand is Strand.FORWARD:
+            assert read.sequence == fwd
+        else:
+            assert read.sequence == revcomp(fwd)
+
+
+def test_error_reads_differ():
+    ref = GenomeSimulator(seed=5).generate(4000)
+    sim = ReadSimulator(ref, read_length=60, error_read_fraction=1.0,
+                        substitution_rate=0.05, seed=7)
+    mismatched = 0
+    for read in sim.simulate(20):
+        fwd = decode(ref.codes[read.origin:read.origin + 60])
+        expected = fwd if read.strand is Strand.FORWARD else revcomp(fwd)
+        if read.sequence != expected:
+            mismatched += 1
+    assert mismatched == 20  # error reads guarantee >= 1 substitution
+
+
+def test_error_fraction_respected_roughly():
+    ref = GenomeSimulator(seed=5).generate(4000)
+    sim = ReadSimulator(ref, read_length=60, error_read_fraction=0.2, seed=8)
+    reads = sim.simulate(300)
+    both = ref.both_strands
+    n = len(ref)
+    errs = 0
+    for read in reads:
+        if read.strand is Strand.FORWARD:
+            pos = read.origin
+        else:
+            pos = 2 * n - read.origin - 60
+        if not np.array_equal(read.codes, both[pos:pos + 60]):
+            errs += 1
+    assert 0.1 < errs / len(reads) < 0.35
+
+
+def test_read_length_validation():
+    ref = GenomeSimulator(seed=5).generate(200)
+    with pytest.raises(ValueError):
+        ReadSimulator(ref, read_length=300)
+
+
+def test_simulate_coverage_sizing():
+    ref = GenomeSimulator(seed=9).generate(4000)
+    sim = ReadSimulator(ref, read_length=80, seed=10)
+    reads = sim.simulate_coverage(2.0)
+    total_bases = sum(len(r) for r in reads)
+    assert abs(total_bases - 2 * 4000) <= 80
+    with pytest.raises(ValueError):
+        sim.simulate_coverage(0)

@@ -1,0 +1,73 @@
+"""Unit and property tests for suffix array / BWT construction."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fmindex import bwt_from_sa, suffix_array
+
+texts = st.lists(st.integers(min_value=0, max_value=3), min_size=1,
+                 max_size=120).map(lambda xs: np.array(xs, dtype=np.uint8))
+
+
+def brute_suffix_array(text):
+    n = len(text)
+    suffixes = sorted(range(n), key=lambda i: list(text[i:]))
+    return suffixes
+
+
+def test_known_example():
+    # "banana" with b=1, a=0, n=2
+    text = np.array([1, 0, 2, 0, 2, 0])
+    assert suffix_array(text).tolist() == [5, 3, 1, 0, 4, 2]
+
+
+def test_empty_text():
+    assert suffix_array(np.empty(0, dtype=np.uint8)).size == 0
+
+
+def test_single_char():
+    assert suffix_array(np.array([2])).tolist() == [0]
+
+
+def test_all_same_char():
+    # Shorter suffixes sort first under the implicit-sentinel convention.
+    assert suffix_array(np.zeros(5, dtype=np.uint8)).tolist() == [4, 3, 2, 1, 0]
+
+
+@settings(max_examples=60)
+@given(texts)
+def test_matches_brute_force(text):
+    assert suffix_array(text).tolist() == brute_suffix_array(text)
+
+
+@settings(max_examples=60)
+@given(texts)
+def test_is_permutation(text):
+    sa = suffix_array(text)
+    assert sorted(sa.tolist()) == list(range(len(text)))
+
+
+@settings(max_examples=40)
+@given(texts)
+def test_bwt_matches_definition(text):
+    """bwt[r] is the character preceding the r-th smallest suffix of
+    text + sentinel (cyclically), with the sentinel suffix as row 0."""
+    sa = suffix_array(text)
+    bwt = bwt_from_sa(text, sa, sentinel=4)
+    assert np.count_nonzero(bwt == 4) == 1
+    n = len(text)
+    logical = list(text) + [4]
+    sa_full = [n] + sa.tolist()
+    expected = [logical[(p - 1) % (n + 1)] for p in sa_full]
+    assert bwt.tolist() == expected
+
+
+def test_bwt_length_and_sentinel_row():
+    text = np.array([0, 1, 2, 3, 0, 1], dtype=np.uint8)
+    sa = suffix_array(text)
+    bwt = bwt_from_sa(text, sa, sentinel=4)
+    assert bwt.size == text.size + 1
+    # The sentinel lands at the row of the suffix starting at 0.
+    row = int(np.nonzero(bwt == 4)[0][0])
+    assert sa[row - 1] == 0
