@@ -1,0 +1,99 @@
+"""Telemetry overhead guard: disabled-mode seeding must stay free.
+
+The telemetry layer promises a no-op fast path: with the module-level
+flag off, `seed_read` takes one flag check per read and every recording
+helper returns immediately.  This benchmark enforces that promise by
+timing the instrumented driver (telemetry disabled) against a local
+re-implementation of the three seeding rounds that contains *no*
+telemetry calls at all -- the closest thing to the pre-instrumentation
+code -- and asserting the slowdown stays under 3 %.
+
+Trials are interleaved and the minimum per mode is compared, which
+cancels warm-up and scheduler noise; on this workload the two loops are
+within measurement jitter of each other.
+
+For reference (not asserted) the enabled-mode time is measured too, and
+all three numbers land in ``benchmarks/results/telemetry_overhead.txt``.
+"""
+
+import time
+
+from conftest import record_result
+
+from repro import telemetry
+from repro.analysis import format_table
+from repro.core import ErtSeedingEngine
+from repro.seeding.algorithm import (
+    SeedingResult,
+    generate_smems,
+    last_round,
+    reseed_round,
+    smems_to_seeds,
+)
+from repro.seeding import seed_read
+
+MAX_OVERHEAD = 0.03
+N_TRIALS = 7
+
+
+def _baseline_seed_read(engine, read, params):
+    """The three rounds exactly as `seed_read` runs them, minus every
+    telemetry touchpoint (no flag check, no spans, no flush)."""
+    engine.begin_read()
+    result = SeedingResult()
+    smems = generate_smems(engine, read, params)
+    result.smems = smems_to_seeds(engine, read, smems, params)
+    if params.reseed:
+        result.reseed_seeds = reseed_round(engine, read, result.smems,
+                                           params)
+    if params.use_last:
+        result.last_seeds = last_round(engine, read, params)
+    return result
+
+
+def _time_batch(fn, engine, reads, params) -> float:
+    start = time.perf_counter()
+    for read in reads:
+        fn(engine, read, params)
+    return time.perf_counter() - start
+
+
+def test_disabled_telemetry_overhead(ert_index, reads, params):
+    engine = ErtSeedingEngine(ert_index)
+    workload = reads[:200]
+    telemetry.disable()
+    telemetry.reset()
+
+    baseline = instrumented = float("inf")
+    for _ in range(N_TRIALS):
+        baseline = min(baseline, _time_batch(_baseline_seed_read, engine,
+                                             workload, params))
+        instrumented = min(instrumented, _time_batch(seed_read, engine,
+                                                     workload, params))
+    assert telemetry.registry().is_empty, \
+        "disabled-mode seeding leaked metrics into the registry"
+
+    telemetry.enable()
+    enabled = float("inf")
+    for _ in range(N_TRIALS):
+        enabled = min(enabled, _time_batch(seed_read, engine, workload,
+                                           params))
+    telemetry.disable()
+    telemetry.reset()
+
+    overhead = instrumented / baseline - 1.0
+    n = len(workload)
+    table = format_table(
+        ["mode", "best s / 200 reads", "reads/s", "vs baseline"],
+        [["no telemetry (baseline)", baseline, n / baseline, "1.000x"],
+         ["instrumented, disabled", instrumented, n / instrumented,
+          f"{instrumented / baseline:.3f}x"],
+         ["instrumented, enabled", enabled, n / enabled,
+          f"{enabled / baseline:.3f}x"]],
+        title=f"telemetry overhead on ERT seeding "
+              f"(best of {N_TRIALS} interleaved trials)")
+    record_result("telemetry_overhead", table)
+    assert overhead < MAX_OVERHEAD, (
+        f"disabled telemetry costs {overhead * 100:.1f}% "
+        f"(limit {MAX_OVERHEAD * 100:.0f}%): {instrumented:.4f}s vs "
+        f"baseline {baseline:.4f}s")

@@ -10,11 +10,13 @@ Subpackages:
 * :mod:`repro.accel`    -- the seeding-accelerator simulator
 * :mod:`repro.extend`   -- Smith-Waterman, chaining, SAM, full aligner
 * :mod:`repro.analysis` -- traffic measurement, roofline, divergence
+* :mod:`repro.telemetry`-- metrics registry, span tracer, profile reports
 * :mod:`repro.baselines`-- hash-table seeding (related-work comparison)
 
 The most common entry points are re-exported here.
 """
 
+from repro import telemetry
 from repro.core import ErtConfig, ErtSeedingEngine, build_ert, load_ert, save_ert
 from repro.extend import ReadAligner
 from repro.fmindex import FmdConfig, FmdIndex, FmdSeedingEngine
@@ -38,4 +40,5 @@ __all__ = [
     "load_ert",
     "save_ert",
     "seed_read",
+    "telemetry",
 ]

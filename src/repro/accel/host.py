@@ -104,10 +104,28 @@ class HostModel:
         else:
             total = compute + transfer
         total += overflow_cost
-        return HostRunEstimate(n_reads=n_reads, seconds=total,
-                               compute_seconds=compute,
-                               transfer_seconds=transfer,
-                               overflow_reads=overflow_reads)
+        estimate = HostRunEstimate(n_reads=n_reads, seconds=total,
+                                   compute_seconds=compute,
+                                   transfer_seconds=transfer,
+                                   overflow_reads=overflow_reads)
+        self._publish_metrics(estimate)
+        return estimate
+
+    @staticmethod
+    def _publish_metrics(estimate: HostRunEstimate) -> None:
+        from repro import telemetry
+
+        if not telemetry.enabled():
+            return
+        telemetry.set_gauge("accel.host.seconds", estimate.seconds)
+        telemetry.set_gauge("accel.host.compute_seconds",
+                            estimate.compute_seconds)
+        telemetry.set_gauge("accel.host.transfer_seconds",
+                            estimate.transfer_seconds)
+        telemetry.set_gauge("accel.host.overflow_reads",
+                            estimate.overflow_reads)
+        telemetry.set_gauge("accel.host.reads_per_s",
+                            estimate.reads_per_second)
 
 
 def result_record_bytes(result) -> int:

@@ -23,8 +23,10 @@ the effect on aggregate cycle counts is negligible.
 from __future__ import annotations
 
 import heapq
+from collections import defaultdict
 from dataclasses import dataclass
 
+from repro import telemetry
 from repro.accel.config import PHASE_TO_PE, AcceleratorConfig
 from repro.accel.ops import Op
 from repro.memsim.dram import DramModel
@@ -141,7 +143,7 @@ class AcceleratorSim:
             now, _seq, machine_idx, job, op_idx = heapq.heappop(events)
             dispatch(machine_idx, job, op_idx, now)
 
-        return SimResult(
+        result = SimResult(
             config_name=config.name,
             jobs=len(jobs),
             reads=n_reads if n_reads is not None else len(jobs),
@@ -151,3 +153,33 @@ class AcceleratorSim:
             dram_page_opens=dram.total.page_opens,
             pe_busy_cycles=busy,
         )
+        if telemetry.enabled():
+            self._publish_metrics(result, jobs, busy, dram)
+        return result
+
+    def _publish_metrics(self, result: SimResult, jobs: "list[list[Op]]",
+                         busy: "dict[str, int]", dram: DramModel) -> None:
+        """Per-op cycle counters and DRAM behaviour for one run, under
+        ``accel.<config>.*``.  Runs once per simulation (never inside the
+        event loop), so the simulator's hot path is untouched."""
+        prefix = f"accel.{telemetry.sanitize(self.config.name)}"
+        telemetry.set_gauge(f"{prefix}.cycles", result.cycles)
+        telemetry.set_gauge(f"{prefix}.reads_per_s",
+                            result.reads_per_second)
+        telemetry.count(f"{prefix}.jobs", result.jobs)
+        telemetry.count(f"{prefix}.reads", result.reads)
+        for cls, cycles in busy.items():
+            telemetry.count(f"{prefix}.pe.{telemetry.sanitize(cls)}"
+                            ".busy_cycles", cycles)
+        op_counts: "dict[str, int]" = defaultdict(int)
+        op_cycles: "dict[str, int]" = defaultdict(int)
+        for job in jobs:
+            for op in job:
+                op_counts[op.phase] += 1
+                op_cycles[op.phase] += op.cycles
+        for phase in op_counts:
+            label = telemetry.sanitize(phase) or "untagged"
+            telemetry.count(f"{prefix}.ops.{label}", op_counts[phase])
+            telemetry.count(f"{prefix}.ops.{label}.cycles",
+                            op_cycles[phase])
+        dram.publish_metrics(prefix=f"{prefix}.dram")

@@ -69,10 +69,29 @@ def measure_traffic(engine, reads, params: "SeedingParams | None" = None,
         index.attach_tracer(None)
     by_phase = {phase: (stats.requests, stats.bytes)
                 for phase, stats in sorted(tracer.by_phase.items())}
-    return TrafficProfile(
+    profile = TrafficProfile(
         name=name or engine.name,
         reads=len(reads),
         requests_total=tracer.total_requests,
         bytes_total=tracer.total_bytes,
         by_phase=by_phase,
     )
+    _publish_metrics(profile)
+    return profile
+
+
+def _publish_metrics(profile: TrafficProfile) -> None:
+    """Surface one configuration's traffic profile as telemetry gauges
+    under ``traffic.<config>.*`` (no-op while telemetry is disabled)."""
+    from repro import telemetry
+
+    if not telemetry.enabled():
+        return
+    prefix = f"traffic.{telemetry.sanitize(profile.name)}"
+    telemetry.set_gauge(f"{prefix}.requests_per_read",
+                        profile.requests_per_read)
+    telemetry.set_gauge(f"{prefix}.bytes_per_read", profile.bytes_per_read)
+    for phase, (requests, nbytes) in profile.by_phase.items():
+        label = telemetry.sanitize(phase) or "untagged"
+        telemetry.set_gauge(f"{prefix}.{label}.requests", requests)
+        telemetry.set_gauge(f"{prefix}.{label}.bytes", nbytes)

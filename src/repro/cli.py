@@ -7,7 +7,12 @@ align many times):
 * ``build-index``  -- construct an ERT and persist it (.npz);
 * ``index-stats``  -- census of a persisted index (Fig 8 / §III-A3 data);
 * ``seed``         -- three-round seeding, one TSV line per seed;
-* ``align``        -- full pipeline to SAM.
+* ``align``        -- full pipeline to SAM;
+* ``report``       -- render a saved telemetry snapshot as a profile.
+
+``seed``, ``align`` and ``align-pe`` take ``--profile`` (print a
+per-stage wall-clock/counter report) and ``--metrics-out FILE`` (write
+the full telemetry snapshot as JSON, consumable by ``report``).
 
 Every subcommand is a thin shell over the library API, so everything it
 does is equally available programmatically.
@@ -18,6 +23,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro import telemetry
 from repro.core import (
     ErtConfig,
     ErtSeedingEngine,
@@ -79,12 +85,14 @@ def build_parser() -> argparse.ArgumentParser:
     seed.add_argument("--min-seed-len", type=int, default=19)
     seed.add_argument("--max-hits", type=int, default=500)
     seed.add_argument("--out", default="-")
+    _add_telemetry_args(seed)
 
     align = sub.add_parser("align", help="align reads to SAM")
     align.add_argument("--index", required=True)
     align.add_argument("--reads", required=True)
     align.add_argument("--min-seed-len", type=int, default=19)
     align.add_argument("--out", required=True)
+    _add_telemetry_args(align)
 
     align_pe = sub.add_parser(
         "align-pe", help="align interleaved paired-end reads to SAM")
@@ -95,6 +103,13 @@ def build_parser() -> argparse.ArgumentParser:
     align_pe.add_argument("--insert-mean", type=int, default=350)
     align_pe.add_argument("--insert-sd", type=int, default=50)
     align_pe.add_argument("--out", required=True)
+    _add_telemetry_args(align_pe)
+
+    report = sub.add_parser(
+        "report", help="render a saved telemetry snapshot (--metrics-out "
+                       "file) as a per-stage profile")
+    report.add_argument("--metrics", required=True,
+                        help="JSON file written by --metrics-out")
 
     compare = sub.add_parser(
         "compare",
@@ -104,6 +119,40 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--k", type=int, default=8)
     compare.add_argument("--min-seed-len", type=int, default=19)
     return parser
+
+
+def _add_telemetry_args(parser) -> None:
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="collect telemetry and print a per-stage profile")
+    parser.add_argument(
+        "--metrics-out", default=None, metavar="FILE",
+        help="collect telemetry and write the snapshot as JSON")
+
+
+def _telemetry_begin(args) -> bool:
+    """Enable telemetry for this command iff the user asked for output.
+    Returns whether a session is active (the default stays a true no-op)."""
+    active = bool(args.profile or args.metrics_out)
+    if active:
+        telemetry.reset()
+        telemetry.enable()
+    return active
+
+
+def _telemetry_finish(args, active: bool, title: str,
+                      profile_stream=None) -> None:
+    if not active:
+        return
+    telemetry.disable()
+    snap = telemetry.snapshot()
+    if args.metrics_out:
+        telemetry.write_json(args.metrics_out, snap)
+        print(f"wrote telemetry snapshot to {args.metrics_out}",
+              file=sys.stderr)
+    if args.profile:
+        print(telemetry.render_profile(snap, title=title),
+              file=profile_stream or sys.stdout)
 
 
 def _cmd_simulate_genome(args) -> int:
@@ -169,6 +218,7 @@ def _cmd_seed(args) -> int:
     reads = read_fastq(args.reads)
     params = SeedingParams(min_seed_len=args.min_seed_len,
                            max_hits_per_seed=args.max_hits)
+    active = _telemetry_begin(args)
     out = _open_out(args.out)
     try:
         out.write("read\tstart\tlength\thit_count\thits\n")
@@ -183,8 +233,15 @@ def _cmd_seed(args) -> int:
     finally:
         if out is not sys.stdout:
             out.close()
-    print(f"seeded {len(reads)} reads -> {n_seeds} seeds",
+    truncated = engine.stats.truncated_hit_lists
+    clipped = (f" ({truncated} hit lists truncated by "
+               f"--max-hits {args.max_hits})" if truncated else "")
+    print(f"seeded {len(reads)} reads -> {n_seeds} seeds{clipped}",
           file=sys.stderr)
+    # With TSV on stdout the profile must not corrupt it.
+    _telemetry_finish(args, active, title=f"seed profile ({args.reads})",
+                      profile_stream=sys.stderr if args.out == "-"
+                      else sys.stdout)
     return 0
 
 
@@ -194,11 +251,13 @@ def _cmd_align(args) -> int:
     aligner = ReadAligner(reference, ErtSeedingEngine(index),
                           SeedingParams(min_seed_len=args.min_seed_len))
     reads = read_fastq(args.reads)
+    active = _telemetry_begin(args)
     records = [aligner.align_sam(r.codes, r.name, r.quality) for r in reads]
     write_sam(args.out, reference, records)
     mapped = sum(1 for rec in records if not rec.flag & 0x4)
     print(f"aligned {len(reads)} reads ({mapped} mapped) -> {args.out}",
           file=sys.stderr)
+    _telemetry_finish(args, active, title=f"align profile ({args.reads})")
     return 0
 
 
@@ -214,6 +273,7 @@ def _cmd_align_pe(args) -> int:
     reads = read_fastq(args.reads)
     if len(reads) % 2:
         raise SystemExit("interleaved FASTQ must hold an even read count")
+    active = _telemetry_begin(args)
     records = []
     for first, second in zip(reads[::2], reads[1::2]):
         name = first.name.split("/")[0]
@@ -223,6 +283,15 @@ def _cmd_align_pe(args) -> int:
     proper = sum(1 for rec in records if rec.flag & 0x2) // 2
     print(f"aligned {len(reads) // 2} pairs ({proper} proper) -> "
           f"{args.out}", file=sys.stderr)
+    _telemetry_finish(args, active,
+                      title=f"align-pe profile ({args.reads})")
+    return 0
+
+
+def _cmd_report(args) -> int:
+    snap = telemetry.load_snapshot(args.metrics)
+    print(telemetry.render_profile(snap, title=f"telemetry report "
+                                               f"({args.metrics})"))
     return 0
 
 
@@ -271,6 +340,7 @@ _COMMANDS = {
     "seed": _cmd_seed,
     "align": _cmd_align,
     "align-pe": _cmd_align_pe,
+    "report": _cmd_report,
     "compare": _cmd_compare,
 }
 

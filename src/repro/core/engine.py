@@ -36,6 +36,11 @@ class ErtSeedingEngine(SeedingEngine):
         self.name = "ert-pm" if index.config.prefix_merging else "ert"
         self._rev: "dict[int, np.ndarray]" = {}
         self._hits: "dict[tuple, tuple[int, tuple[int, ...]]]" = {}
+        # Strong references backing every id() used as a cache key below:
+        # a bare id(read) can be recycled once the array is garbage
+        # collected, silently serving another read's cached revcomp/hits.
+        # Pinning the array for the cache's lifetime makes its id stable.
+        self._pinned: "dict[int, np.ndarray]" = {}
 
     # ------------------------------------------------------------------
     # Per-read state
@@ -44,9 +49,16 @@ class ErtSeedingEngine(SeedingEngine):
     def begin_read(self) -> None:
         self._rev.clear()
         self._hits.clear()
+        self._pinned.clear()
+
+    def _key(self, read: np.ndarray) -> int:
+        key = id(read)
+        if key not in self._pinned:
+            self._pinned[key] = read
+        return key
 
     def _revcomp(self, read: np.ndarray) -> np.ndarray:
-        key = id(read)
+        key = self._key(read)
         cached = self._rev.get(key)
         if cached is None:
             cached = COMPLEMENT[read][::-1].copy()
@@ -186,12 +198,12 @@ class ErtSeedingEngine(SeedingEngine):
         count = cursor.count
         length = end - s
         if count > self.gather_limit:
-            self._hits[(id(read), s, end)] = (count, ())
+            self._hits[(self._key(read), s, end)] = (count, ())
             return
         two_n = int(self.index.text.size)
         rev_positions = cursor.gather()
         hits = tuple(sorted(two_n - t - length for t in rev_positions))
-        self._hits[(id(read), s, end)] = (count, hits)
+        self._hits[(self._key(read), s, end)] = (count, hits)
 
     def count(self, read: np.ndarray, start: int, end: int) -> int:
         self._check_read(read)
@@ -210,10 +222,11 @@ class ErtSeedingEngine(SeedingEngine):
     def locate(self, read: np.ndarray, start: int, end: int,
                limit: "int | None" = None) -> "tuple[int, list[int]]":
         self._check_read(read)
-        cached = self._hits.get((id(read), start, end))
+        cached = self._hits.get((self._key(read), start, end))
         if cached is not None:
             count, hits = cached
             if limit is not None and count > limit:
+                self.stats.truncated_hit_lists += 1
                 return count, []
             if hits or count == 0:
                 return count, list(hits)
@@ -229,6 +242,7 @@ class ErtSeedingEngine(SeedingEngine):
         cursor = self._walk_exact(read, start, end)
         count = cursor.count
         if limit is not None and count > limit:
+            self.stats.truncated_hit_lists += 1
             return count, []
         return count, cursor.gather()
 
@@ -279,9 +293,9 @@ class ErtSeedingEngine(SeedingEngine):
                                    end: int) -> None:
         count = cursor.count
         if count > self.gather_limit:
-            self._hits[(id(read), start, end)] = (count, ())
+            self._hits[(self._key(read), start, end)] = (count, ())
             return
-        self._hits[(id(read), start, end)] = (count, tuple(cursor.gather()))
+        self._hits[(self._key(read), start, end)] = (count, tuple(cursor.gather()))
 
     # ------------------------------------------------------------------
     # Prefix-merged backward sweep (§III-B)
@@ -322,7 +336,7 @@ class ErtSeedingEngine(SeedingEngine):
         self.stats.backward_searches += 1
         if s1 < p - 1:
             mems.append(Mem(s1, p - 1))
-        cached = self._hits.get((id(read), s1, p - 1))
+        cached = self._hits.get((self._key(read), s1, p - 1))
         s_p = None
         if cached is not None and cached[1]:
             count1, hits1 = cached
@@ -338,7 +352,7 @@ class ErtSeedingEngine(SeedingEngine):
                               and int(text[h + length1]) == want)
             if len(extenders) >= min_hits:
                 s_p = s1
-                self._hits[(id(read), s1, p)] = (len(extenders), extenders)
+                self._hits[(self._key(read), s1, p)] = (len(extenders), extenders)
                 self.stats.merged_backward_searches += 1
                 mems.append(Mem(s1, p))
         if s_p is None:

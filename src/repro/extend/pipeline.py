@@ -13,6 +13,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import telemetry
 from repro.extend.chaining import Chain, chain_seeds
 from repro.extend.sam import (
     SamRecord,
@@ -78,19 +79,37 @@ class ReadAligner:
     def align(self, read: np.ndarray,
               name: str = "read") -> AlignmentOutcome:
         """Align one read; returns the best-scoring chain extension."""
-        result = seed_read(self.engine, read, self.params)
-        seeds = result.all_seeds
-        chains = chain_seeds(seeds)
-        workload = ExtensionWorkload()
-        best: "Alignment | None" = None
-        for chain in chains[:self.max_chains_extended]:
-            candidate = self._extend_chain(read, chain, name, workload)
-            if candidate is None:
-                continue
-            if best is None or candidate.score > best.score:
-                best = candidate
+        with telemetry.span("align"):
+            result = seed_read(self.engine, read, self.params)
+            seeds = result.all_seeds
+            with telemetry.span("chain"):
+                chains = chain_seeds(seeds)
+            workload = ExtensionWorkload()
+            best: "Alignment | None" = None
+            with telemetry.span("extend"):
+                for chain in chains[:self.max_chains_extended]:
+                    candidate = self._extend_chain(read, chain, name,
+                                                   workload)
+                    if candidate is None:
+                        continue
+                    if best is None or candidate.score > best.score:
+                        best = candidate
+            self._record_read_metrics(len(seeds), len(chains),
+                                      mapped=best is not None)
         return AlignmentOutcome(alignment=best, n_seeds=len(seeds),
                                 n_chains=len(chains), workload=workload)
+
+    def _record_read_metrics(self, n_seeds: int, n_chains: int,
+                             mapped: bool) -> None:
+        if not telemetry.enabled():
+            return
+        telemetry.count("align.reads")
+        telemetry.count("align.reads_mapped", int(mapped))
+        telemetry.count("align.chains", n_chains)
+        telemetry.count("align.chains_extended",
+                        min(n_chains, self.max_chains_extended))
+        telemetry.observe("align.seeds_per_read", n_seeds)
+        telemetry.observe("align.chains_per_read", n_chains)
 
     def _extend_chain(self, read: np.ndarray, chain: Chain, name: str,
                       workload: ExtensionWorkload) -> "Alignment | None":
@@ -103,11 +122,15 @@ class ReadAligner:
         window = self._text[ref_begin:ref_begin + window_len]
         if window.size < n // 2:
             return None
+        if telemetry.enabled():
+            telemetry.observe("align.band_bp", self.band)
+            telemetry.observe("align.window_bp", int(window.size))
 
         score = None
         if self.edit_check_first:
             # The edit-distance unit clears near-perfect candidates fast.
             workload.add_edit(n)
+            telemetry.count("align.edit_checks")
             dist = banded_edit_distance(read, window[:n], band=self.band)
             if dist is not None and dist <= 2:
                 score = (n - dist) * self.scheme.match + dist * \
@@ -115,6 +138,7 @@ class ReadAligner:
                 end_pos = ref_begin
         if score is None:
             workload.add_sw(n)
+            telemetry.count("align.sw_extensions")
             sw = banded_smith_waterman(read, window, self.scheme, self.band)
             if not sw.is_aligned:
                 return None
@@ -139,14 +163,19 @@ class ReadAligner:
         The best and runner-up chains are both extended with the
         traceback kernel so mapping quality can reflect uniqueness.
         """
-        result = seed_read(self.engine, read, self.params)
-        chains = chain_seeds(result.all_seeds)
-        quality = quality or "I" * int(read.size)
-        candidates = []
-        for chain in chains[:self.max_chains_extended]:
-            traced = self._trace_chain(read, chain)
-            if traced is not None:
-                candidates.append(traced)
+        with telemetry.span("align"):
+            result = seed_read(self.engine, read, self.params)
+            with telemetry.span("chain"):
+                chains = chain_seeds(result.all_seeds)
+            quality = quality or "I" * int(read.size)
+            candidates = []
+            with telemetry.span("extend"):
+                for chain in chains[:self.max_chains_extended]:
+                    traced = self._trace_chain(read, chain)
+                    if traced is not None:
+                        candidates.append(traced)
+            self._record_read_metrics(len(result.all_seeds), len(chains),
+                                      mapped=bool(candidates))
         if not candidates:
             return unmapped_record(name, decode(read), quality)
         candidates.sort(key=lambda c: -c[0])
@@ -163,14 +192,19 @@ class ReadAligner:
         (FLAG 0x100) for distinct runner-up placements, as read aligners
         do for multi-mapping reads in repeats."""
         from dataclasses import replace as _replace
-        result = seed_read(self.engine, read, self.params)
-        chains = chain_seeds(result.all_seeds)
-        quality = quality or "I" * int(read.size)
-        candidates = []
-        for chain in chains[:self.max_chains_extended]:
-            traced = self._trace_chain(read, chain)
-            if traced is not None:
-                candidates.append(traced)
+        with telemetry.span("align"):
+            result = seed_read(self.engine, read, self.params)
+            with telemetry.span("chain"):
+                chains = chain_seeds(result.all_seeds)
+            quality = quality or "I" * int(read.size)
+            candidates = []
+            with telemetry.span("extend"):
+                for chain in chains[:self.max_chains_extended]:
+                    traced = self._trace_chain(read, chain)
+                    if traced is not None:
+                        candidates.append(traced)
+            self._record_read_metrics(len(result.all_seeds), len(chains),
+                                      mapped=bool(candidates))
         if not candidates:
             return [unmapped_record(name, decode(read), quality)]
         candidates.sort(key=lambda c: -c[0])
@@ -202,6 +236,10 @@ class ReadAligner:
         window = self._text[ref_begin:ref_begin + n + self.band]
         if window.size < n // 2:
             return None
+        if telemetry.enabled():
+            telemetry.observe("align.band_bp", self.band)
+            telemetry.observe("align.window_bp", int(window.size))
+            telemetry.count("align.sw_extensions")
         traced = banded_sw_traceback(read, window, self.scheme, self.band)
         if not traced.is_aligned:
             return None

@@ -72,8 +72,11 @@ class FmdSeedingEngine(SeedingEngine):
         # Engine-wide contract: seeds with more hits than the limit carry
         # the count but no positions (BWA's chaining skips them anyway).
         if limit is not None and bi.s > limit:
+            self.stats.truncated_hit_lists += 1
             return bi.s, []
-        return bi.s, self.index.locate(bi)
+        hits = self.index.locate(bi)
+        self.stats.sa_lookups += len(hits)
+        return bi.s, hits
 
     def last_seed(self, read: np.ndarray, start: int, min_len: int,
                   max_intv: int) -> "tuple[int, int] | None":

@@ -45,10 +45,16 @@ class DramConfig:
 
 @dataclass
 class PageStats:
-    """Row-buffer hit / page-open counters."""
+    """Row-buffer hit / page-open counters.
+
+    ``row_conflicts`` subdivides ``page_opens``: a page open against a
+    bank whose row buffer held a *different* row (as opposed to a cold
+    bank), i.e. the accesses that pay a precharge on top of the activate.
+    """
 
     row_hits: int = 0
     page_opens: int = 0
+    row_conflicts: int = 0
 
     @property
     def accesses(self) -> int:
@@ -89,7 +95,8 @@ class DramModel:
         """Record an access; return True if it hit the open row."""
         channel, bank, row = self._map(addr)
         key = (channel, bank)
-        hit = self._open_rows.get(key) == row
+        prev = self._open_rows.get(key)
+        hit = prev == row
         self._open_rows[key] = row
         stats = self.by_phase[phase]
         if hit:
@@ -98,6 +105,9 @@ class DramModel:
         else:
             stats.page_opens += 1
             self.total.page_opens += 1
+            if prev is not None:
+                stats.row_conflicts += 1
+                self.total.row_conflicts += 1
         return hit
 
     def access_latency(self, addr: int, now: int, phase: str = "") -> int:
@@ -117,6 +127,24 @@ class DramModel:
     def on_access(self, event) -> None:
         """Tracer-sink adapter: feed an :class:`~repro.memsim.trace.Access`."""
         self.access(event.addr, event.phase)
+
+    def publish_metrics(self, prefix: str = "memsim.dram") -> None:
+        """Surface row-buffer behaviour as telemetry gauges: totals plus
+        per-phase page opens (the paper's Fig 13 breakdown).  Idempotent;
+        no-op while telemetry is disabled."""
+        from repro import telemetry
+
+        if not telemetry.enabled():
+            return
+        telemetry.set_gauge(f"{prefix}.row_hits", self.total.row_hits)
+        telemetry.set_gauge(f"{prefix}.page_opens", self.total.page_opens)
+        telemetry.set_gauge(f"{prefix}.row_conflicts",
+                            self.total.row_conflicts)
+        telemetry.set_gauge(f"{prefix}.row_hit_rate", self.total.hit_rate)
+        for phase, stats in self.by_phase.items():
+            label = telemetry.sanitize(phase) or "untagged"
+            telemetry.set_gauge(f"{prefix}.page_opens.{label}",
+                                stats.page_opens)
 
     def reset_stats(self) -> None:
         """Clear counters and row-buffer state."""

@@ -26,6 +26,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import telemetry
 from repro.seeding.engine import SeedingEngine
 from repro.seeding.types import Mem, Seed, SeedingResult
 
@@ -168,16 +169,58 @@ def last_round(engine: SeedingEngine, read: np.ndarray,
     return out
 
 
+#: How engine work counters surface as telemetry counter names.  Most map
+#: mechanically under ``seeding.``; the gather-limit clip gets the
+#: user-facing name the CLI and docs advertise.
+_STAT_COUNTERS = {"truncated_hit_lists": "seeds.truncated"}
+
+
+def _flush_engine_stats(engine: SeedingEngine,
+                        before: "dict[str, int]") -> None:
+    """Publish this read's engine-stat deltas into the metrics registry.
+
+    Hot loops (tree walks, occ lookups) never call telemetry directly --
+    they keep counting into :class:`~repro.seeding.engine.EngineStats` as
+    they always have, and this one flush per read surfaces the deltas.
+    """
+    after = engine.stats.as_dict()
+    telemetry.add_counters(
+        {_STAT_COUNTERS.get(name, f"seeding.{name}"):
+         after[name] - before.get(name, 0) for name in after})
+
+
 def seed_read(engine: SeedingEngine, read: np.ndarray,
               params: "SeedingParams | None" = None) -> SeedingResult:
     """Run all three seeding rounds for one read."""
     params = params or SeedingParams()
     engine.begin_read()
     result = SeedingResult()
-    smems = generate_smems(engine, read, params)
-    result.smems = smems_to_seeds(engine, read, smems, params)
-    if params.reseed:
-        result.reseed_seeds = reseed_round(engine, read, result.smems, params)
-    if params.use_last:
-        result.last_seeds = last_round(engine, read, params)
+    if not telemetry.enabled():
+        smems = generate_smems(engine, read, params)
+        result.smems = smems_to_seeds(engine, read, smems, params)
+        if params.reseed:
+            result.reseed_seeds = reseed_round(engine, read, result.smems,
+                                               params)
+        if params.use_last:
+            result.last_seeds = last_round(engine, read, params)
+        return result
+    before = engine.stats.as_dict()
+    with telemetry.span("seed"):
+        with telemetry.span("smem"):
+            smems = generate_smems(engine, read, params)
+            result.smems = smems_to_seeds(engine, read, smems, params)
+        if params.reseed:
+            with telemetry.span("reseed"):
+                result.reseed_seeds = reseed_round(engine, read,
+                                                   result.smems, params)
+        if params.use_last:
+            with telemetry.span("last"):
+                result.last_seeds = last_round(engine, read, params)
+    _flush_engine_stats(engine, before)
+    telemetry.count("seeding.reads")
+    all_seeds = result.all_seeds
+    telemetry.count("seeds.emitted", len(all_seeds))
+    for seed in all_seeds:
+        telemetry.observe("seed.length", seed.length)
+        telemetry.observe("seed.hit_count", seed.hit_count)
     return result

@@ -63,6 +63,12 @@ class EngineStats:
     nodes_visited: int = 0
     leaf_fetches: int = 0
     occ_queries: int = 0
+    sa_lookups: int = 0
+    #: Hit lists clipped by a locate limit (``max_hits_per_seed``): the
+    #: seed keeps its true count but its positions are dropped.  Surfaced
+    #: as the ``seeds.truncated`` telemetry counter and in the ``seed``
+    #: CLI summary so the clipping is never silent.
+    truncated_hit_lists: int = 0
 
     def reset(self) -> None:
         for name in vars(self):

@@ -136,6 +136,7 @@ class OracleEngine(SeedingEngine):
         # Engine-wide contract: seeds with more hits than the limit carry
         # the count but no positions (BWA's chaining skips them anyway).
         if limit is not None and count > limit:
+            self.stats.truncated_hit_lists += 1
             return count, []
         return count, find_occurrences(self.text, pattern)
 

@@ -1,0 +1,171 @@
+"""Lightweight observability for the seeding/alignment stack.
+
+The paper's whole argument is quantitative -- bytes per read, page opens,
+cycles per seeding round -- so this package gives every subsystem one
+process-wide place to put numbers:
+
+* a metrics registry (:mod:`repro.telemetry.metrics`): counters, gauges,
+  bucketed histograms;
+* a span tracer (:mod:`repro.telemetry.spans`): nested wall-clock stage
+  timings with exclusive-time accounting;
+* exporters (:mod:`repro.telemetry.export`): JSON / JSONL snapshots and
+  the human-readable per-stage profile.
+
+**Telemetry is off by default** and everything routes through one
+module-level flag.  While disabled, :func:`span` returns a shared no-op
+context manager and every recording helper returns after a single flag
+check, so instrumented code pays (and the overhead benchmark enforces)
+essentially nothing.  Hot inner loops additionally avoid per-event calls
+altogether: engines keep counting into their existing stats structs and
+the per-read drivers *flush deltas* into the registry only when telemetry
+is enabled.
+
+Typical use::
+
+    from repro import telemetry
+
+    telemetry.enable()
+    with telemetry.span("align"):
+        aligner.align(read)
+    print(telemetry.render_profile(telemetry.snapshot()))
+"""
+
+from __future__ import annotations
+
+from repro.telemetry.export import (
+    load_snapshot,
+    render_profile,
+    render_spans,
+    write_json,
+    write_jsonl,
+)
+from repro.telemetry.metrics import (
+    DEFAULT_EDGES,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    sanitize,
+)
+from repro.telemetry.spans import NoopSpan, SpanStat, Tracer
+
+__all__ = [
+    "Counter",
+    "DEFAULT_EDGES",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NoopSpan",
+    "SpanStat",
+    "Tracer",
+    "add_counters",
+    "count",
+    "disable",
+    "enable",
+    "enabled",
+    "load_snapshot",
+    "observe",
+    "registry",
+    "render_profile",
+    "render_spans",
+    "reset",
+    "sanitize",
+    "set_gauge",
+    "snapshot",
+    "span",
+    "tracer",
+    "write_json",
+    "write_jsonl",
+]
+
+
+#: The single switch everything checks.  Not exported mutable state --
+#: flip it through :func:`enable` / :func:`disable` only.
+_enabled = False
+
+_registry = MetricsRegistry()
+_tracer = Tracer()
+_NOOP_SPAN = NoopSpan()
+
+
+def enable() -> None:
+    """Turn telemetry on (it starts off)."""
+    global _enabled
+    _enabled = True
+
+
+def disable() -> None:
+    """Turn telemetry off; recorded data is kept until :func:`reset`."""
+    global _enabled
+    _enabled = False
+
+
+def enabled() -> bool:
+    return _enabled
+
+
+def registry() -> MetricsRegistry:
+    """The process-wide metrics registry (always live, even when
+    telemetry is disabled -- recording helpers are what check the flag)."""
+    return _registry
+
+
+def tracer() -> Tracer:
+    """The process-wide span tracer."""
+    return _tracer
+
+
+def reset() -> None:
+    """Drop all recorded metrics and span aggregates."""
+    _registry.reset()
+    _tracer.reset()
+
+
+# ----------------------------------------------------------------------
+# Recording helpers -- each is a no-op after one flag check when disabled.
+# ----------------------------------------------------------------------
+
+
+def span(name: str):
+    """Time a stage: ``with telemetry.span("align"): ...``.  Returns a
+    shared do-nothing context manager while telemetry is disabled."""
+    if not _enabled:
+        return _NOOP_SPAN
+    return _tracer.span(name)
+
+
+def count(name: str, n: int = 1) -> None:
+    """Increment counter ``name`` by ``n``."""
+    if _enabled:
+        _registry.counter(name).inc(n)
+
+
+def add_counters(values: "dict[str, int]", prefix: str = "") -> None:
+    """Bulk-increment counters, skipping zero deltas.  This is the flush
+    path for engine/stat structs: hot loops keep counting into plain
+    attributes and drivers publish the per-read delta here."""
+    if not _enabled:
+        return
+    for name, value in values.items():
+        if value:
+            _registry.counter(prefix + name).inc(value)
+
+
+def set_gauge(name: str, value: float) -> None:
+    if _enabled:
+        _registry.gauge(name).set(value)
+
+
+def observe(name: str, value: float,
+            edges: "tuple[float, ...] | None" = None) -> None:
+    """Record ``value`` into histogram ``name`` (bucket edges fixed at
+    first use)."""
+    if _enabled:
+        _registry.histogram(name, edges).observe(value)
+
+
+def snapshot() -> dict:
+    """Plain-data copy of everything recorded so far (JSON-ready)."""
+    data = _registry.snapshot()
+    data["spans"] = _tracer.snapshot()
+    return data

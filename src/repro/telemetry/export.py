@@ -1,0 +1,136 @@
+"""Exporters and the human-readable profile report.
+
+A telemetry *snapshot* is the plain-dict form produced by
+:func:`repro.telemetry.snapshot`::
+
+    {"counters": {...}, "gauges": {...}, "histograms": {...},
+     "spans": {...}}
+
+This module writes snapshots as JSON (one run per file) or JSONL (one
+labelled run per line, for benchmark trajectories), reads them back, and
+renders the per-stage table behind ``ert-repro report`` and the CLI's
+``--profile`` flag.  Everything here is standard-library only so the
+telemetry package never drags the analysis stack into hot paths.
+"""
+
+from __future__ import annotations
+
+import json
+
+
+SNAPSHOT_KEYS = ("counters", "gauges", "histograms", "spans")
+
+
+def write_json(path, snapshot: dict) -> None:
+    """Write one snapshot as an indented JSON document."""
+    with open(path, "w") as handle:
+        json.dump(snapshot, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def write_jsonl(path, snapshot: dict, label: str = "") -> None:
+    """Append one snapshot as a single JSONL record tagged ``label``."""
+    record = {"label": label}
+    record.update(snapshot)
+    with open(path, "a") as handle:
+        handle.write(json.dumps(record, sort_keys=True) + "\n")
+
+
+def load_snapshot(path) -> dict:
+    """Read a snapshot written by :func:`write_json` (missing sections
+    are filled in empty, so partial files still render)."""
+    with open(path) as handle:
+        data = json.load(handle)
+    if not isinstance(data, dict):
+        raise ValueError(f"{path}: not a telemetry snapshot")
+    for key in SNAPSHOT_KEYS:
+        data.setdefault(key, {})
+    return data
+
+
+# ----------------------------------------------------------------------
+# Profile rendering
+# ----------------------------------------------------------------------
+
+
+def _format_table(headers: "list[str]", rows: "list[list[str]]") -> str:
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = ["  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+             "  ".join("-" * w for w in widths)]
+    for row in rows:
+        lines.append("  ".join(
+            cell.ljust(widths[i]) if i == 0 else cell.rjust(widths[i])
+            for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _ms(seconds: float) -> str:
+    return f"{seconds * 1e3:,.2f}"
+
+
+def render_spans(spans: dict) -> str:
+    """Per-stage timing table: indentation mirrors span nesting and the
+    ``% root`` column is relative to each stage's top-level ancestor."""
+    if not spans:
+        return "(no spans recorded)"
+    roots = {path: stat for path, stat in spans.items() if "/" not in path}
+    rows = []
+    for path in sorted(spans):
+        stat = spans[path]
+        depth = path.count("/")
+        label = "  " * depth + path.rsplit("/", 1)[-1]
+        root = roots.get(path.split("/", 1)[0])
+        share = (100.0 * stat["total_s"] / root["total_s"]
+                 if root and root["total_s"] > 0 else 100.0)
+        rows.append([label, f"{stat['count']:,}", _ms(stat["total_s"]),
+                     _ms(stat["self_s"]), _ms(stat["total_s"]
+                                              / max(1, stat["count"])),
+                     f"{share:.1f}"])
+    return _format_table(
+        ["stage", "calls", "total ms", "self ms", "ms/call", "% root"],
+        rows)
+
+
+def render_profile(snapshot: dict, title: "str | None" = None) -> str:
+    """The full human-readable report: spans, counters, gauges,
+    histogram summaries."""
+    parts = []
+    if title:
+        parts.append(title)
+    parts.append("== per-stage wall clock ==")
+    parts.append(render_spans(snapshot.get("spans", {})))
+    counters = snapshot.get("counters", {})
+    if counters:
+        parts.append("")
+        parts.append("== counters ==")
+        parts.append(_format_table(
+            ["counter", "value"],
+            [[name, f"{value:,}"] for name, value
+             in sorted(counters.items())]))
+    gauges = snapshot.get("gauges", {})
+    if gauges:
+        parts.append("")
+        parts.append("== gauges ==")
+        parts.append(_format_table(
+            ["gauge", "value"],
+            [[name, f"{value:,.6g}"] for name, value
+             in sorted(gauges.items())]))
+    histograms = snapshot.get("histograms", {})
+    if histograms:
+        parts.append("")
+        parts.append("== histograms ==")
+        rows = []
+        for name, hist in sorted(histograms.items()):
+            count = hist.get("count", 0)
+            mean = hist["total"] / count if count else 0.0
+            rows.append([name, f"{count:,}", f"{mean:,.1f}",
+                         f"{hist['min']:g}" if hist["min"] is not None
+                         else "-",
+                         f"{hist['max']:g}" if hist["max"] is not None
+                         else "-"])
+        parts.append(_format_table(
+            ["histogram", "samples", "mean", "min", "max"], rows))
+    return "\n".join(parts)

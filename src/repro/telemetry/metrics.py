@@ -1,0 +1,168 @@
+"""Process-wide metrics: counters, gauges, and bucketed histograms.
+
+The registry is deliberately dependency-free and single-threaded (like the
+rest of the reproduction): a metric is created on first use and lives until
+:meth:`MetricsRegistry.reset`.  Three metric kinds cover everything the
+paper's figures need:
+
+* :class:`Counter` -- monotonically increasing totals (walk steps, leaf
+  gathers, truncated hit lists, DRAM page opens...);
+* :class:`Gauge` -- last-written values (index bytes, simulated cycles);
+* :class:`Histogram` -- bucketed distributions (seed lengths, hit counts,
+  extension window sizes) with fixed, explicit bucket edges.
+
+Metric names are dot-separated paths, ``<subsystem>.<noun>[.<qualifier>]``
+(see ``docs/observability.md`` for the conventions).  Nothing in this
+module consults the global telemetry enable flag -- that guard lives in
+:mod:`repro.telemetry` so the registry itself stays testable in isolation.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+
+
+#: Default histogram bucket edges: a 1-2.5-5 decade ladder that resolves
+#: both read-scale quantities (seed lengths) and hit-count tails.
+DEFAULT_EDGES = (1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000,
+                 10000)
+
+
+class Counter:
+    """A monotonically increasing integer total."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        if n < 0:
+            raise ValueError("counters only increase; use a gauge")
+        self.value += n
+
+
+class Gauge:
+    """A last-write-wins scalar."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+class Histogram:
+    """A bucketed distribution with explicit, ascending edges.
+
+    A value ``v`` lands in the first bucket whose edge satisfies
+    ``v <= edge``; values above the last edge land in the implicit
+    overflow bucket, so ``len(counts) == len(edges) + 1``.
+    """
+
+    __slots__ = ("edges", "counts", "count", "total", "min", "max")
+
+    def __init__(self, edges: "tuple[float, ...] | None" = None) -> None:
+        edges = tuple(edges) if edges is not None else DEFAULT_EDGES
+        if not edges:
+            raise ValueError("histogram needs at least one bucket edge")
+        if any(b <= a for a, b in zip(edges, edges[1:])):
+            raise ValueError("bucket edges must be strictly ascending")
+        self.edges = edges
+        self.counts = [0] * (len(edges) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min = None
+        self.max = None
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.edges, value)] += 1
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "edges": list(self.edges),
+            "counts": list(self.counts),
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+        }
+
+
+class MetricsRegistry:
+    """Name -> metric map with create-on-first-use accessors."""
+
+    def __init__(self) -> None:
+        self.counters: "dict[str, Counter]" = {}
+        self.gauges: "dict[str, Gauge]" = {}
+        self.histograms: "dict[str, Histogram]" = {}
+
+    # -- accessors -----------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        metric = self.counters.get(name)
+        if metric is None:
+            metric = self.counters[name] = Counter()
+        return metric
+
+    def gauge(self, name: str) -> Gauge:
+        metric = self.gauges.get(name)
+        if metric is None:
+            metric = self.gauges[name] = Gauge()
+        return metric
+
+    def histogram(self, name: str,
+                  edges: "tuple[float, ...] | None" = None) -> Histogram:
+        metric = self.histograms.get(name)
+        if metric is None:
+            metric = self.histograms[name] = Histogram(edges)
+        return metric
+
+    # -- bulk operations -----------------------------------------------
+
+    @property
+    def is_empty(self) -> bool:
+        return not (self.counters or self.gauges or self.histograms)
+
+    def reset(self) -> None:
+        self.counters.clear()
+        self.gauges.clear()
+        self.histograms.clear()
+
+    def snapshot(self) -> dict:
+        """Plain-data copy of every metric (JSON-serializable)."""
+        return {
+            "counters": {name: c.value
+                         for name, c in sorted(self.counters.items())},
+            "gauges": {name: g.value
+                       for name, g in sorted(self.gauges.items())},
+            "histograms": {name: h.as_dict()
+                           for name, h in sorted(self.histograms.items())},
+        }
+
+
+def sanitize(label: str) -> str:
+    """Turn a free-form label ("BWA-MEM2 (FMD)") into a metric-name
+    segment: lowercase, with runs of non-alphanumerics collapsed to ``-``."""
+    out = []
+    last_dash = True
+    for ch in label.lower():
+        if ch.isalnum():
+            out.append(ch)
+            last_dash = False
+        elif not last_dash:
+            out.append("-")
+            last_dash = True
+    return "".join(out).strip("-")

@@ -1,0 +1,131 @@
+"""Span-based wall-clock tracing with nesting and exclusive time.
+
+A span measures one stage of the pipeline::
+
+    with tracer.span("align"):
+        with tracer.span("seed"):
+            ...
+
+Spans aggregate by *path*: the example records ``align`` and
+``align/seed``.  For every path the tracer keeps call count, total
+(inclusive) seconds, exclusive seconds (total minus time spent in child
+spans), and min/max per call -- which is exactly what a per-stage profile
+table needs, and lets the report verify that children sum consistently
+with their parent's wall-clock.
+
+The tracer takes an injectable ``clock`` so tests can drive it
+deterministically.  The zero-overhead-when-disabled guarantee is *not*
+implemented here: :func:`repro.telemetry.span` returns a shared no-op
+context manager when telemetry is off, and this module is only reached
+when it is on.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+
+@dataclass
+class SpanStat:
+    """Aggregated timings for one span path."""
+
+    count: int = 0
+    total_s: float = 0.0
+    self_s: float = 0.0
+    min_s: float = 0.0
+    max_s: float = 0.0
+
+    def add(self, elapsed: float, child_s: float) -> None:
+        if self.count == 0 or elapsed < self.min_s:
+            self.min_s = elapsed
+        if elapsed > self.max_s:
+            self.max_s = elapsed
+        self.count += 1
+        self.total_s += elapsed
+        self.self_s += elapsed - child_s
+
+    def as_dict(self) -> dict:
+        return {"count": self.count, "total_s": self.total_s,
+                "self_s": self.self_s, "min_s": self.min_s,
+                "max_s": self.max_s}
+
+
+class _Span:
+    """One live span (a context manager tied to its tracer's stack)."""
+
+    __slots__ = ("tracer", "name", "path", "start", "child_s")
+
+    def __init__(self, tracer: "Tracer", name: str) -> None:
+        self.tracer = tracer
+        self.name = name
+        self.path = name
+        self.start = 0.0
+        self.child_s = 0.0
+
+    def __enter__(self) -> "_Span":
+        tracer = self.tracer
+        if tracer._stack:
+            self.path = f"{tracer._stack[-1].path}/{self.name}"
+        tracer._stack.append(self)
+        self.start = tracer._clock()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        tracer = self.tracer
+        elapsed = tracer._clock() - self.start
+        tracer._stack.pop()
+        if tracer._stack:
+            tracer._stack[-1].child_s += elapsed
+        stat = tracer.stats.get(self.path)
+        if stat is None:
+            stat = tracer.stats[self.path] = SpanStat()
+        stat.add(elapsed, self.child_s)
+
+
+class Tracer:
+    """Aggregating span tracer (see module docstring)."""
+
+    def __init__(self, clock=time.perf_counter) -> None:
+        self.stats: "dict[str, SpanStat]" = {}
+        self._stack: "list[_Span]" = []
+        self._clock = clock
+
+    def span(self, name: str) -> _Span:
+        """Context manager timing one stage; nests under the active span."""
+        return _Span(self, name)
+
+    @property
+    def depth(self) -> int:
+        return len(self._stack)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.stats
+
+    def reset(self) -> None:
+        if self._stack:
+            raise RuntimeError(
+                f"cannot reset the tracer inside an open span "
+                f"({self._stack[-1].path!r})")
+        self.stats.clear()
+
+    def snapshot(self) -> dict:
+        """Plain-data copy of the per-path aggregates, sorted by path so
+        a parent always precedes its children."""
+        return {path: stat.as_dict()
+                for path, stat in sorted(self.stats.items())}
+
+
+class NoopSpan:
+    """The disabled-mode span: enter/exit do nothing.  A single shared
+    instance is handed out for every ``span()`` call while telemetry is
+    off, so the disabled cost is one flag check and two empty calls."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "NoopSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None

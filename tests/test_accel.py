@@ -162,3 +162,26 @@ def test_efficiency_rows():
     with pytest.raises(ValueError):
         efficiency_row("x", 1.0, "gpu")
     assert GENAX_ROW["kreads_per_s_per_mm2"] == 24.23
+
+
+def test_sim_publishes_telemetry_when_enabled():
+    from repro import telemetry
+
+    jobs = _toy_jobs(8)
+    AcceleratorSim(asic_config()).run(jobs)
+    assert telemetry.registry().is_empty  # disabled by default -> no-op
+    telemetry.reset()
+    telemetry.enable()
+    try:
+        res = AcceleratorSim(asic_config()).run(jobs)
+        snap = telemetry.snapshot()
+        prefix = f"accel.{telemetry.sanitize(asic_config().name)}"
+        assert snap["gauges"][f"{prefix}.cycles"] == res.cycles
+        assert snap["counters"][f"{prefix}.ops.tree-traversal"] == \
+            sum(len(job) for job in jobs)
+        assert snap["counters"][f"{prefix}.ops.tree-traversal.cycles"] == \
+            sum(op.cycles for job in jobs for op in job)
+        assert f"{prefix}.dram.page_opens" in snap["gauges"]
+    finally:
+        telemetry.disable()
+        telemetry.reset()

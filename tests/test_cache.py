@@ -87,3 +87,24 @@ def test_small_working_set_eventually_all_hits(addrs):
         cache.lookup(addr)
     distinct_lines = {a // 64 for a in addrs}
     assert cache.stats.misses == len(distinct_lines)
+
+
+def test_cache_publish_metrics_gauges():
+    from repro import telemetry
+
+    cache = CacheModel(size=4 * 64, line_size=64)
+    cache.lookup(0)
+    cache.lookup(0)
+    cache.publish_metrics()
+    assert telemetry.registry().is_empty  # disabled -> publish is a no-op
+    telemetry.reset()
+    telemetry.enable()
+    try:
+        cache.publish_metrics()
+        gauges = telemetry.snapshot()["gauges"]
+        assert gauges["memsim.cache.hits"] == 1
+        assert gauges["memsim.cache.misses"] == 1
+        assert gauges["memsim.cache.hit_rate"] == 0.5
+    finally:
+        telemetry.disable()
+        telemetry.reset()

@@ -105,3 +105,40 @@ def test_opens_never_exceed_accesses(addrs):
         dram.access(addr)
     assert dram.total.page_opens <= max(len(addrs), 0) or not addrs
     assert dram.total.accesses == len(addrs)
+
+
+def test_row_conflicts_subdivide_page_opens():
+    """A page open against a bank holding a different row is a conflict;
+    the first touch of a cold bank is not."""
+    dram = DramModel(DramConfig(channels=1, banks_per_channel=1,
+                                row_size=2048))
+    dram.access(0)        # cold open
+    dram.access(2048)     # different row -> conflict
+    dram.access(2048 + 64)  # hit
+    assert dram.total.page_opens == 2
+    assert dram.total.row_conflicts == 1
+    assert dram.total.row_hits == 1
+    dram.reset_stats()
+    assert dram.total.row_conflicts == 0
+
+
+def test_dram_publish_metrics_gauges():
+    from repro import telemetry
+
+    dram = DramModel(DramConfig(channels=1, banks_per_channel=1,
+                                row_size=2048))
+    dram.access(0, "tree_traversal")
+    dram.access(4096, "tree_traversal")
+    dram.publish_metrics()
+    assert telemetry.registry().is_empty  # disabled -> publish is a no-op
+    telemetry.reset()
+    telemetry.enable()
+    try:
+        dram.publish_metrics()
+        gauges = telemetry.snapshot()["gauges"]
+        assert gauges["memsim.dram.page_opens"] == 2
+        assert gauges["memsim.dram.row_conflicts"] == 1
+        assert gauges["memsim.dram.page_opens.tree-traversal"] == 2
+    finally:
+        telemetry.disable()
+        telemetry.reset()

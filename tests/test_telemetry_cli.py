@@ -1,0 +1,115 @@
+"""CLI surface of the telemetry subsystem: --profile, --metrics-out,
+the report subcommand, and output invariance with telemetry disabled."""
+
+import json
+
+import pytest
+
+from repro import telemetry
+from repro.cli import main
+
+
+@pytest.fixture(autouse=True)
+def clean_telemetry():
+    telemetry.disable()
+    telemetry.reset()
+    yield
+    telemetry.disable()
+    telemetry.reset()
+
+
+@pytest.fixture(scope="module")
+def workspace(tmp_path_factory):
+    root = tmp_path_factory.mktemp("telemetry_cli")
+    ref = root / "ref.fa"
+    reads = root / "reads.fq"
+    index = root / "index.npz"
+    assert main(["simulate-genome", "--length", "3000", "--seed", "5",
+                 "--out", str(ref)]) == 0
+    assert main(["simulate-reads", "--reference", str(ref), "--count", "10",
+                 "--read-length", "60", "--seed", "6",
+                 "--out", str(reads)]) == 0
+    assert main(["build-index", "--reference", str(ref), "--k", "5",
+                 "--max-seed-len", "100", "--out", str(index)]) == 0
+    return root, reads, index
+
+
+def test_seed_metrics_out_writes_valid_json(workspace, tmp_path):
+    _root, reads, index = workspace
+    metrics = tmp_path / "metrics.json"
+    assert main(["seed", "--index", str(index), "--reads", str(reads),
+                 "--min-seed-len", "12", "--out", str(tmp_path / "s.tsv"),
+                 "--metrics-out", str(metrics)]) == 0
+    snap = json.loads(metrics.read_text())
+    assert snap["counters"]["seeding.reads"] == 10
+    assert snap["spans"]["seed"]["count"] == 10
+    assert snap["spans"]["seed/smem"]["count"] == 10
+    # The command cleans up after itself: the global flag is off again.
+    assert not telemetry.enabled()
+
+
+def test_align_profile_prints_stage_table(workspace, tmp_path, capsys):
+    _root, reads, index = workspace
+    metrics = tmp_path / "metrics.json"
+    assert main(["align", "--index", str(index), "--reads", str(reads),
+                 "--min-seed-len", "12", "--out", str(tmp_path / "o.sam"),
+                 "--profile", "--metrics-out", str(metrics)]) == 0
+    out = capsys.readouterr().out
+    assert "per-stage wall clock" in out
+    for stage in ("align", "chain", "extend", "seed", "smem"):
+        assert stage in out
+    snap = json.loads(metrics.read_text())
+    # Per-stage spans nest under align and sum consistently: children's
+    # inclusive time can never exceed the root's.
+    root_total = snap["spans"]["align"]["total_s"]
+    child_total = sum(stat["total_s"] for path, stat in
+                      snap["spans"].items()
+                      if path.count("/") == 1 and path.startswith("align/"))
+    assert child_total <= root_total + 1e-9
+    assert snap["counters"]["align.reads"] == 10
+    assert snap["counters"]["seeding.index_lookups"] > 0
+
+
+def test_report_renders_saved_snapshot(workspace, tmp_path, capsys):
+    _root, reads, index = workspace
+    metrics = tmp_path / "metrics.json"
+    assert main(["align", "--index", str(index), "--reads", str(reads),
+                 "--min-seed-len", "12", "--out", str(tmp_path / "o.sam"),
+                 "--metrics-out", str(metrics)]) == 0
+    capsys.readouterr()
+    assert main(["report", "--metrics", str(metrics)]) == 0
+    out = capsys.readouterr().out
+    assert "per-stage wall clock" in out
+    assert "extend" in out
+    assert "counters" in out
+
+
+def test_outputs_identical_with_and_without_telemetry(workspace, tmp_path):
+    _root, reads, index = workspace
+    plain_tsv = tmp_path / "plain.tsv"
+    traced_tsv = tmp_path / "traced.tsv"
+    assert main(["seed", "--index", str(index), "--reads", str(reads),
+                 "--min-seed-len", "12", "--out", str(plain_tsv)]) == 0
+    assert telemetry.registry().is_empty  # default run records nothing
+    assert main(["seed", "--index", str(index), "--reads", str(reads),
+                 "--min-seed-len", "12", "--out", str(traced_tsv),
+                 "--metrics-out", str(tmp_path / "m.json")]) == 0
+    assert traced_tsv.read_bytes() == plain_tsv.read_bytes()
+
+    plain_sam = tmp_path / "plain.sam"
+    traced_sam = tmp_path / "traced.sam"
+    assert main(["align", "--index", str(index), "--reads", str(reads),
+                 "--min-seed-len", "12", "--out", str(plain_sam)]) == 0
+    assert main(["align", "--index", str(index), "--reads", str(reads),
+                 "--min-seed-len", "12", "--out", str(traced_sam),
+                 "--profile"]) == 0
+    assert traced_sam.read_bytes() == plain_sam.read_bytes()
+
+
+def test_seed_reports_truncated_hit_lists(workspace, tmp_path, capsys):
+    _root, reads, index = workspace
+    assert main(["seed", "--index", str(index), "--reads", str(reads),
+                 "--min-seed-len", "12", "--max-hits", "1",
+                 "--out", str(tmp_path / "t.tsv")]) == 0
+    err = capsys.readouterr().err
+    assert "truncated by --max-hits 1" in err
