@@ -7,6 +7,10 @@ hardware; package power as RAPL would report it), and ASIC-GenAx's
 published efficiency row for the literature comparison.
 """
 
+# ERT004 exception: an energy/area model is float-domain by nature
+# (mm^2, W, reads/s ratios); no cycle or byte accounting lives here.
+# repro: allow-file(ERT004)
+
 from __future__ import annotations
 
 from dataclasses import dataclass

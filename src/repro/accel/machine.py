@@ -45,25 +45,28 @@ class SimResult:
     dram_page_opens: int
     pe_busy_cycles: "dict[str, int]"
 
+    # The ERT004 exceptions below are all derived reporting rates; the
+    # accounting state itself (cycles, busy cycles, page opens) is integer.
+
     @property
     def seconds(self) -> float:
-        return self.cycles / self.clock_hz
+        return self.cycles / self.clock_hz  # repro: allow(ERT004)
 
     @property
     def reads_per_second(self) -> float:
         if self.cycles == 0:
             return float("inf")
-        return self.reads / self.seconds
+        return self.reads / self.seconds  # repro: allow(ERT004)
 
     @property
     def mreads_per_second(self) -> float:
-        return self.reads_per_second / 1e6
+        return self.reads_per_second / 1e6  # repro: allow(ERT004)
 
     def pe_utilization(self, pe_counts: "dict[str, int]") -> "dict[str, float]":
         if self.cycles == 0:
-            return {cls: 0.0 for cls in pe_counts}
+            return {cls: 0.0 for cls in pe_counts}  # repro: allow(ERT004)
         return {cls: self.pe_busy_cycles.get(cls, 0)
-                / (self.cycles * count)
+                / (self.cycles * count)  # repro: allow(ERT004)
                 for cls, count in pe_counts.items()}
 
 

@@ -1,0 +1,102 @@
+"""Pragma comments controlling the checker.
+
+Four forms, all spelled as ``# repro: <directive>``:
+
+* ``# repro: allow(ERT001)`` / ``# repro: allow(ERT001, ERT004)`` --
+  suppress the named rules on the physical line carrying the pragma
+  (multi-line statements are covered: a violation is suppressed if any
+  line the offending statement spans carries an allow for its rule);
+* ``# repro: allow-file(ERT004)`` -- suppress the named rules for the
+  whole file (for modules whose domain legitimately breaks a rule, e.g.
+  the energy models' physical constants);
+* ``# repro: hot`` -- placed on (or directly above) a ``def`` line,
+  marks the function as a hot loop for ERT007;
+* ``# repro: module(repro.memsim.fake)`` -- override the logical module
+  name used for rule scoping (test fixtures use this to place a snippet
+  "inside" a scoped package without living there).
+
+Pragmas are read from real COMMENT tokens (via :mod:`tokenize`), so
+pragma-shaped text inside string literals is ignored.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+
+_PRAGMA_RE = re.compile(
+    r"#\s*repro:\s*(?P<directive>allow-file|allow|hot|module)"
+    r"\s*(?:\(\s*(?P<args>[^)]*?)\s*\))?")
+
+
+@dataclass
+class FilePragmas:
+    """All pragmas of one source file, indexed for rule queries."""
+
+    #: line number -> rule ids allowed on that line.
+    line_allows: "dict[int, frozenset[str]]" = field(default_factory=dict)
+    #: rule ids allowed anywhere in the file.
+    file_allows: "frozenset[str]" = frozenset()
+    #: line numbers carrying ``# repro: hot``.
+    hot_lines: "frozenset[int]" = frozenset()
+    #: logical module override (``# repro: module(...)``), if any.
+    module_override: "str | None" = None
+
+    def allows(self, rule: str, first_line: int, last_line: "int | None" = None) -> bool:
+        """Is ``rule`` suppressed for a violation spanning the given lines?"""
+        if rule in self.file_allows:
+            return True
+        last = first_line if last_line is None else last_line
+        for line in range(first_line, last + 1):
+            if rule in self.line_allows.get(line, ()):
+                return True
+        return False
+
+    def is_hot(self, def_line: int) -> bool:
+        """Is a ``def`` at ``def_line`` marked hot (pragma on the line
+        itself or the line directly above, e.g. with the decorators)?"""
+        return def_line in self.hot_lines or (def_line - 1) in self.hot_lines
+
+
+def _split_rules(args: "str | None") -> "frozenset[str]":
+    if not args:
+        return frozenset()
+    return frozenset(part.strip() for part in args.split(",") if part.strip())
+
+
+def parse_pragmas(source: str) -> FilePragmas:
+    """Extract every ``# repro:`` pragma from ``source``."""
+    line_allows: "dict[int, set[str]]" = {}
+    file_allows: "set[str]" = set()
+    hot_lines: "set[int]" = set()
+    module_override: "str | None" = None
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+        comments = [(tok.start[0], tok.string) for tok in tokens
+                    if tok.type == tokenize.COMMENT]
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        # Broken file: fall back to a line scan so pragmas still work
+        # (the engine reports the syntax error separately).
+        comments = [(i, line) for i, line in enumerate(source.splitlines(), 1)
+                    if "#" in line]
+    for lineno, text in comments:
+        for match in _PRAGMA_RE.finditer(text):
+            directive = match.group("directive")
+            args = match.group("args")
+            if directive == "allow":
+                line_allows.setdefault(lineno, set()).update(_split_rules(args))
+            elif directive == "allow-file":
+                file_allows.update(_split_rules(args))
+            elif directive == "hot":
+                hot_lines.add(lineno)
+            elif directive == "module" and args:
+                module_override = args.strip()
+    return FilePragmas(
+        line_allows={line: frozenset(rules)
+                     for line, rules in line_allows.items()},
+        file_allows=frozenset(file_allows),
+        hot_lines=frozenset(hot_lines),
+        module_override=module_override,
+    )

@@ -1,0 +1,455 @@
+"""The built-in rule set: the invariants this repository actually has.
+
+Each rule documents its rationale inline; ``docs/static_analysis.md``
+carries the prose version with paper references.  Scopes are logical
+module prefixes (see :meth:`repro.checks.engine.Rule.applies_to`).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.checks.engine import Rule, SourceFile, register
+from repro.checks.violations import Violation
+
+# ----------------------------------------------------------------------
+# ERT001 -- id() as a cache key
+# ----------------------------------------------------------------------
+
+#: Container-method names whose argument acts as a key/member.
+_KEY_METHODS = frozenset({
+    "add", "discard", "remove", "get", "setdefault", "pop", "count",
+    "index", "__contains__", "__getitem__", "__setitem__",
+})
+
+
+def _is_id_call(node: ast.AST, src: SourceFile) -> bool:
+    return (isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "id"
+            and src.imports.get("id", "id") == "id")
+
+
+@register
+class IdAsKeyRule(Rule):
+    """ERT001: ``id()`` must not key a dict/set without a pinning pragma.
+
+    CPython recycles object ids after garbage collection; a cache keyed
+    by ``id(read)`` without a strong reference to ``read`` can silently
+    serve another object's entry (the exact PR-1 bug in
+    ``ErtSeedingEngine``).  Either pin the referent for the cache's
+    lifetime (as ``core/engine.py`` does) or document the lifetime
+    guarantee with ``# repro: allow(ERT001)``.
+    """
+
+    id = "ERT001"
+    title = "id() used as a cache key or set member"
+    rationale = ("object ids are recycled once the referent is garbage "
+                 "collected; a bare id() key can alias another object")
+
+    def check(self, src: SourceFile) -> "Iterator[Violation]":
+        for node in src.walk():
+            if not _is_id_call(node, src):
+                continue
+            context = self._key_context(node, src)
+            if context is not None:
+                yield src.violation(
+                    self.id, node,
+                    f"id() result used as {context} -- pin the referent "
+                    f"for the container's lifetime or annotate the "
+                    f"guarantee with `# repro: allow(ERT001)`")
+
+    @staticmethod
+    def _key_context(call: ast.Call, src: SourceFile) -> "str | None":
+        node: ast.AST = call
+        parent = src.parent(node)
+        # Climb through tuple displays: (id(a), start) is still a key.
+        while isinstance(parent, ast.Tuple):
+            node = parent
+            parent = src.parent(node)
+        if parent is None:
+            return None
+        if isinstance(parent, ast.Subscript) and parent.slice is node:
+            return "a subscript key"
+        if isinstance(parent, ast.Compare):
+            in_ops = any(isinstance(op, (ast.In, ast.NotIn))
+                         for op in parent.ops)
+            if in_ops and parent.left is node:
+                return "a membership probe"
+        if (isinstance(parent, ast.Call) and node in parent.args
+                and isinstance(parent.func, ast.Attribute)
+                and parent.func.attr in _KEY_METHODS):
+            return f"an argument to .{parent.func.attr}()"
+        if isinstance(parent, ast.Assign) and parent.value is node:
+            return "a stored key variable"
+        if isinstance(parent, ast.AnnAssign) and parent.value is node:
+            return "a stored key variable"
+        if isinstance(parent, ast.SetComp) and parent.elt is node:
+            return "a set-comprehension member"
+        if isinstance(parent, ast.DictComp) and parent.key is node:
+            return "a dict-comprehension key"
+        return None
+
+
+# ----------------------------------------------------------------------
+# ERT002 -- unseeded randomness
+# ----------------------------------------------------------------------
+
+#: Constructors that take an explicit seed and return an isolated
+#: generator -- the sanctioned way to be random in this repository.
+_SEEDED_FACTORIES = frozenset({
+    "Random", "SystemRandom", "default_rng", "RandomState", "Generator",
+    "SeedSequence", "PCG64", "Philox", "MT19937", "SFC64",
+})
+
+
+@register
+class UnseededRandomRule(Rule):
+    """ERT002: no module-level ``random`` / ``np.random`` calls in repro.
+
+    ``tests/test_determinism.py`` asserts byte-identical pipelines; any
+    call against the global generators (``random.random()``,
+    ``np.random.rand()``, even ``np.random.seed()``) threads hidden
+    process-global state through the run.  Construct a seeded generator
+    (``np.random.default_rng(seed)``, ``random.Random(seed)``) instead.
+    """
+
+    id = "ERT002"
+    title = "module-level random call (hidden global RNG state)"
+    rationale = ("determinism: results must be a pure function of inputs "
+                 "and explicit seeds")
+    scope = ("repro",)
+
+    def check(self, src: SourceFile) -> "Iterator[Violation]":
+        for node in src.walk():
+            if not isinstance(node, ast.Call):
+                continue
+            qual = src.qualified_name(node.func)
+            if qual is None:
+                continue
+            for prefix in ("random.", "numpy.random.", "np.random."):
+                if qual.startswith(prefix):
+                    tail = qual[len(prefix):].split(".", 1)[0]
+                    if tail not in _SEEDED_FACTORIES:
+                        yield src.violation(
+                            self.id, node,
+                            f"call to {qual}() uses the process-global "
+                            f"RNG; construct a seeded generator "
+                            f"(e.g. np.random.default_rng(seed)) instead")
+                    break
+
+
+# ----------------------------------------------------------------------
+# ERT003 -- raw wall-clock reads
+# ----------------------------------------------------------------------
+
+_CLOCK_CALLS = frozenset({
+    "time.time", "time.time_ns", "time.perf_counter",
+    "time.perf_counter_ns", "time.monotonic", "time.monotonic_ns",
+    "time.process_time", "time.process_time_ns", "time.clock_gettime",
+    "time.thread_time", "time.thread_time_ns",
+})
+
+
+@register
+class RawClockRule(Rule):
+    """ERT003: all timing goes through :mod:`repro.telemetry` spans.
+
+    Ad-hoc ``time.perf_counter()`` pairs fragment the timing story: they
+    bypass the span tracer's nesting/exclusive-time accounting and the
+    ``--profile`` report.  Use ``telemetry.span(...)`` (or a local
+    :class:`repro.telemetry.spans.Tracer` when the numbers must be
+    collected regardless of the global telemetry flag).
+    """
+
+    id = "ERT003"
+    title = "raw clock call outside repro.telemetry"
+    rationale = "all stage timing flows through the span tracer"
+    scope = ("repro",)
+    exclude_scope = ("repro.telemetry",)
+
+    def check(self, src: SourceFile) -> "Iterator[Violation]":
+        for node in src.walk():
+            if not isinstance(node, ast.Call):
+                continue
+            qual = src.qualified_name(node.func)
+            if qual in _CLOCK_CALLS:
+                yield src.violation(
+                    self.id, node,
+                    f"raw {qual}() call; route timing through "
+                    f"repro.telemetry spans")
+
+
+# ----------------------------------------------------------------------
+# ERT004 -- float arithmetic in integer accounting modules
+# ----------------------------------------------------------------------
+
+
+@register
+class IntegerAccountingRule(Rule):
+    """ERT004: cycle/byte accounting stays integer-exact.
+
+    The paper's accelerator model (like EXMA's and FindeR's) budgets in
+    whole cycles, bytes and page opens; a float sneaking into those sums
+    makes results platform-dependent and breaks exact regression
+    baselines.  Derived *reporting* quantities (hit rates, reads/s) are
+    fine -- annotate them with ``# repro: allow(ERT004)`` (or
+    ``allow-file`` for modules whose whole domain is physical, like the
+    energy models).
+    """
+
+    id = "ERT004"
+    title = "float literal / true division in integer accounting code"
+    rationale = ("cycle, byte and page-open sums must stay integer-exact "
+                 "for deterministic cross-platform baselines")
+    scope = ("repro.memsim", "repro.accel", "repro.core.layout")
+
+    def check(self, src: SourceFile) -> "Iterator[Violation]":
+        for node in src.walk():
+            if isinstance(node, ast.Constant) and isinstance(node.value, float):
+                yield src.violation(
+                    self.id, node,
+                    f"float literal {node.value!r} in an integer "
+                    f"accounting module; use integers (or annotate a "
+                    f"derived reporting value with "
+                    f"`# repro: allow(ERT004)`)")
+            elif isinstance(node, ast.BinOp) and isinstance(node.op, ast.Div):
+                yield src.violation(
+                    self.id, node,
+                    "true division in an integer accounting module; use "
+                    "// (or annotate a derived reporting value with "
+                    "`# repro: allow(ERT004)`)")
+            elif (isinstance(node, ast.AugAssign)
+                  and isinstance(node.op, ast.Div)):
+                yield src.violation(
+                    self.id, node,
+                    "augmented true division (/=) in an integer "
+                    "accounting module; use //=")
+
+
+# ----------------------------------------------------------------------
+# ERT005 -- import layering
+# ----------------------------------------------------------------------
+
+_PACKAGES = (
+    "repro.sequence", "repro.telemetry", "repro.memsim", "repro.seeding",
+    "repro.core", "repro.fmindex", "repro.extend", "repro.accel",
+    "repro.analysis", "repro.baselines", "repro.checks", "repro.cli",
+)
+
+
+def _everything_but(*allowed: str) -> "tuple[str, ...]":
+    return tuple(pkg for pkg in _PACKAGES if pkg not in allowed)
+
+
+#: Forbidden import prefixes per package (longest-prefix match on the
+#: importing module).  The shape of the DAG: sequence and telemetry are
+#: leaves; memsim sits above telemetry; seeding/core/fmindex/extend form
+#: the algorithmic middle and may flush metrics (repro.telemetry) but
+#: never touch the exporters; accel consumes traces from core/seeding;
+#: analysis/baselines/cli sit on top; checks stands alone so it can lint
+#: a tree too broken to import.
+_LAYERING: "dict[str, tuple[str, ...]]" = {
+    "repro.sequence": _everything_but("repro.sequence"),
+    "repro.telemetry": _everything_but("repro.telemetry"),
+    "repro.memsim": _everything_but("repro.memsim", "repro.telemetry"),
+    "repro.seeding": _everything_but(
+        "repro.seeding", "repro.sequence", "repro.telemetry")
+        + ("repro.telemetry.export",),
+    "repro.core": ("repro.accel", "repro.analysis", "repro.baselines",
+                   "repro.checks", "repro.cli", "repro.extend",
+                   "repro.telemetry.export"),
+    "repro.fmindex": ("repro.accel", "repro.analysis", "repro.baselines",
+                      "repro.checks", "repro.cli", "repro.core",
+                      "repro.extend", "repro.telemetry.export"),
+    "repro.extend": ("repro.accel", "repro.analysis", "repro.baselines",
+                     "repro.checks", "repro.cli",
+                     "repro.telemetry.export"),
+    "repro.accel": ("repro.analysis", "repro.baselines", "repro.checks",
+                    "repro.cli", "repro.extend"),
+    "repro.baselines": ("repro.accel", "repro.analysis", "repro.checks",
+                        "repro.cli"),
+    "repro.analysis": ("repro.checks", "repro.cli"),
+    "repro.checks": _everything_but("repro.checks"),
+}
+
+
+@register
+class ImportLayeringRule(Rule):
+    """ERT005: the package DAG is law.
+
+    Lower layers importing upper ones (core pulling in the accelerator
+    simulator, seeding pulling in the JSON exporters) create cycles,
+    drag heavyweight dependencies into hot paths, and break the
+    "seeding is bit-identical with or without instrumentation"
+    guarantee.
+    """
+
+    id = "ERT005"
+    title = "import violates the package layering"
+    rationale = "keeps the dependency DAG acyclic and hot paths lean"
+    scope = ("repro",)
+
+    def check(self, src: SourceFile) -> "Iterator[Violation]":
+        module = src.module or ""
+        layer, forbidden = None, ()
+        for prefix, banned in _LAYERING.items():
+            if ((module == prefix or module.startswith(prefix + "."))
+                    and (layer is None or len(prefix) > len(layer))):
+                layer, forbidden = prefix, banned
+        if layer is None:
+            return
+        for node in src.walk():
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    yield from self._flag(src, node, layer, forbidden,
+                                          alias.name)
+            elif isinstance(node, ast.ImportFrom):
+                base = src.resolve_import_module(node)
+                if base is None:
+                    continue
+                hit = False
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    # `from repro import telemetry` imports the submodule
+                    # repro.telemetry, so test module+name first.
+                    for violation in self._flag(src, node, layer, forbidden,
+                                                f"{base}.{alias.name}"):
+                        yield violation
+                        hit = True
+                if not hit:
+                    yield from self._flag(src, node, layer, forbidden, base)
+
+    def _flag(self, src: SourceFile, node: ast.AST, layer: str,
+              forbidden: "tuple[str, ...]",
+              imported: str) -> "Iterator[Violation]":
+        for banned in forbidden:
+            if imported == banned or imported.startswith(banned + "."):
+                yield src.violation(
+                    self.id, node,
+                    f"{layer} must not import {banned} "
+                    f"(imported {imported}); see the layering table in "
+                    f"docs/static_analysis.md")
+                return
+
+
+# ----------------------------------------------------------------------
+# ERT006 -- mutable defaults and bare except
+# ----------------------------------------------------------------------
+
+_MUTABLE_CTORS = frozenset({
+    "list", "dict", "set", "bytearray", "defaultdict", "OrderedDict",
+    "Counter", "deque",
+})
+
+
+@register
+class FootgunRule(Rule):
+    """ERT006: no mutable default arguments, no bare ``except:``.
+
+    A mutable default is shared across every call of the function --
+    state leaks between reads/batches, which is exactly the kind of
+    cross-read contamination the equivalence tests exist to catch.  A
+    bare ``except:`` swallows ``KeyboardInterrupt``/``SystemExit`` and
+    hides real defects behind fallback paths.
+    """
+
+    id = "ERT006"
+    title = "mutable default argument or bare except"
+    rationale = ("shared mutable defaults leak state across calls; bare "
+                 "except hides defects and breaks Ctrl-C")
+
+    def check(self, src: SourceFile) -> "Iterator[Violation]":
+        for node in src.walk():
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.Lambda)):
+                args = node.args
+                defaults: "list[ast.expr]" = list(args.defaults)
+                defaults.extend(d for d in args.kw_defaults if d is not None)
+                for default in defaults:
+                    if self._is_mutable(default):
+                        name = getattr(node, "name", "<lambda>")
+                        yield src.violation(
+                            self.id, default,
+                            f"mutable default argument in {name}(); "
+                            f"default to None and create the object in "
+                            f"the body")
+            elif isinstance(node, ast.ExceptHandler) and node.type is None:
+                yield src.violation(
+                    self.id, node,
+                    "bare `except:`; catch a concrete exception type "
+                    "(bare except swallows KeyboardInterrupt/SystemExit)")
+
+    @staticmethod
+    def _is_mutable(node: ast.expr) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                             ast.DictComp, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name):
+                return func.id in _MUTABLE_CTORS
+            if isinstance(func, ast.Attribute):
+                return func.attr in _MUTABLE_CTORS
+        return False
+
+
+# ----------------------------------------------------------------------
+# ERT007 -- telemetry calls inside hot loops
+# ----------------------------------------------------------------------
+
+
+@register
+class HotLoopTelemetryRule(Rule):
+    """ERT007: hot functions batch counters; they never call telemetry.
+
+    ``docs/observability.md`` is explicit: spans and direct
+    ``telemetry.*`` calls belong at per-read granularity or coarser;
+    anything per-bp or per-node counts into a stats struct that a driver
+    flushes at a span boundary.  Functions annotated ``# repro: hot``
+    (the tree walks, cache/DRAM accesses) are held to that mechanically.
+    """
+
+    id = "ERT007"
+    title = "direct telemetry/metrics call inside a `# repro: hot` function"
+    rationale = ("hot loops must batch into stats structs and flush "
+                 "deltas at span boundaries (docs/observability.md)")
+
+    def check(self, src: SourceFile) -> "Iterator[Violation]":
+        for node in src.walk():
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if not src.pragmas.is_hot(node.lineno):
+                continue
+            yield from self._scan_hot_body(src, node)
+
+    def _scan_hot_body(self, src: SourceFile,
+                       func: ast.AST) -> "Iterator[Violation]":
+        for node in ast.walk(func):
+            if not isinstance(node, ast.Call):
+                continue
+            qual = src.qualified_name(node.func)
+            if qual is None:
+                continue
+            root = qual.split(".", 1)[0]
+            if (qual.startswith("repro.telemetry.")
+                    or root in ("telemetry", "metrics")):
+                name = getattr(func, "name", "<function>")
+                yield src.violation(
+                    self.id, node,
+                    f"{qual}() called inside hot function {name}(); "
+                    f"count into a stats struct and flush the delta at a "
+                    f"span boundary instead (docs/observability.md)")
+
+
+__all__ = [
+    "FootgunRule",
+    "HotLoopTelemetryRule",
+    "IdAsKeyRule",
+    "ImportLayeringRule",
+    "IntegerAccountingRule",
+    "RawClockRule",
+    "UnseededRandomRule",
+]

@@ -8,7 +8,9 @@ align many times):
 * ``index-stats``  -- census of a persisted index (Fig 8 / §III-A3 data);
 * ``seed``         -- three-round seeding, one TSV line per seed;
 * ``align``        -- full pipeline to SAM;
-* ``report``       -- render a saved telemetry snapshot as a profile.
+* ``report``       -- render a saved telemetry snapshot as a profile;
+* ``check``        -- run the repository's static-analysis rules
+  (:mod:`repro.checks`, see docs/static_analysis.md).
 
 ``seed``, ``align`` and ``align-pe`` take ``--profile`` (print a
 per-stage wall-clock/counter report) and ``--metrics-out FILE`` (write
@@ -24,6 +26,7 @@ import argparse
 import sys
 
 from repro import telemetry
+from repro.checks import cli as checks_cli
 from repro.core import (
     ErtConfig,
     ErtSeedingEngine,
@@ -118,6 +121,11 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--reads", required=True)
     compare.add_argument("--k", type=int, default=8)
     compare.add_argument("--min-seed-len", type=int, default=19)
+
+    check = sub.add_parser(
+        "check", help="run the repo's static-analysis rules "
+                      "(non-zero exit on violations)")
+    checks_cli.configure_parser(check)
     return parser
 
 
@@ -342,6 +350,7 @@ _COMMANDS = {
     "align-pe": _cmd_align_pe,
     "report": _cmd_report,
     "compare": _cmd_compare,
+    "check": checks_cli.run,
 }
 
 

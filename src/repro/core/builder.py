@@ -95,7 +95,9 @@ def _build_diverge(text: np.ndarray, positions: np.ndarray, depth: int,
     return DivergeNode(children, ended, int(positions.size))
 
 
-def _entry_metadata(text: np.ndarray, config: ErtConfig):
+def _entry_metadata(
+    text: np.ndarray, config: ErtConfig,
+) -> "tuple[np.ndarray, np.ndarray, np.ndarray, list[np.ndarray]]":
     """LEP bits, longest-prefix lengths and counts for all 4^k entries."""
     k = config.k
     n_entries = config.n_entries
@@ -193,7 +195,9 @@ def build_ert(reference: Reference, config: "ErtConfig | None" = None,
     return index
 
 
-def _occurrences_via_fmd(reference: Reference, k: int):
+def _occurrences_via_fmd(
+    reference: Reference, k: int,
+) -> "tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]":
     """Enumerate per-k-mer occurrence groups by FMD-index queries.
 
     This mirrors the paper's construction: every possible k-mer is looked

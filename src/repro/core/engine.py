@@ -52,7 +52,10 @@ class ErtSeedingEngine(SeedingEngine):
         self._pinned.clear()
 
     def _key(self, read: np.ndarray) -> int:
-        key = id(read)
+        # ERT001 exception: the very next statement pins `read` in
+        # self._pinned for the cache's lifetime, so this id() cannot be
+        # recycled while _rev/_hits hold entries keyed by it.
+        key = id(read)  # repro: allow(ERT001)
         if key not in self._pinned:
             self._pinned[key] = read
         return key
@@ -105,6 +108,7 @@ class ErtSeedingEngine(SeedingEngine):
             matched = length
         return code, matched, leps
 
+    # repro: hot -- per-character tree walk; counters go into EngineStats.
     def _walk(self, seq: np.ndarray, start: int, min_hits: int,
               collect_leps: bool,
               use_table: bool = True) -> "tuple[int, list[int], TreeCursor | None]":

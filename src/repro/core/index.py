@@ -28,6 +28,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.config import ErtConfig
+from repro.core.layout import LayoutStats
 from repro.core.nodes import Node
 from repro.memsim.cache import CacheModel
 from repro.memsim.trace import AddressSpace, MemoryTracer
@@ -79,7 +80,7 @@ class ErtIndex:
                  roots: "dict[int, Node]", tree_base: "dict[int, int]",
                  tables: "dict[int, list[JumpEntry]]",
                  prefix_counts: "list[np.ndarray]",
-                 trees_bytes: int, layout_stats,
+                 trees_bytes: int, layout_stats: LayoutStats,
                  space: "AddressSpace | None" = None) -> None:
         self.reference = reference
         self.config = config

@@ -19,6 +19,8 @@ tables (cheap relative to tree construction).
 from __future__ import annotations
 
 import json
+import os
+from typing import Union
 
 import numpy as np
 
@@ -36,7 +38,11 @@ class IndexFormatError(ValueError):
     """Raised when an index file cannot be understood."""
 
 
-def save_ert(index: ErtIndex, path) -> None:
+#: Anything ``np.savez``/``np.load`` accept as a file location.
+PathLike = Union[str, "os.PathLike[str]"]
+
+
+def save_ert(index: ErtIndex, path: PathLike) -> None:
     """Write an ERT index to ``path`` (a ``.npz`` archive)."""
     codes = sorted(index.roots)
     blobs = bytearray(index.trees_region.size)
@@ -90,7 +96,7 @@ def _blob_size(index: ErtIndex, code: int) -> int:
     return end - base
 
 
-def load_ert(path) -> ErtIndex:
+def load_ert(path: PathLike) -> ErtIndex:
     """Load an ERT index written by :func:`save_ert`."""
     with np.load(path) as archive:
         meta = json.loads(bytes(archive["meta_json"].tobytes()).decode())

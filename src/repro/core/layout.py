@@ -53,10 +53,11 @@ class LayoutStats:
 
     @property
     def mean_nodes_per_tile(self) -> float:
+        # Derived reporting stat, not accounting state (ERT004 exception).
         if not self.nodes_per_tile:
-            return 0.0
+            return 0.0  # repro: allow(ERT004)
         total = sum(tile * count for tile, count in self.nodes_per_tile.items())
-        return total / sum(self.nodes_per_tile.values())
+        return total / sum(self.nodes_per_tile.values())  # repro: allow(ERT004)
 
 
 def _assign_sizes(root: Node, prefix_merging: bool) -> "list[Node]":
@@ -99,10 +100,15 @@ def _tiled_offsets(root: Node) -> int:
     tiles.  A node larger than a tile gets a tile run of its own."""
     offset = 0
     pending = deque([root])
+    # ERT001 exceptions: `placed` holds id()s as node identity, which is
+    # safe here because every id()-ed node stays strongly reachable from
+    # `root` (the caller's argument) for this whole call -- nothing can
+    # be collected and have its id recycled while the set is alive, and
+    # the set does not outlive the call.
     placed = set()
     while pending:
         start = pending.popleft()
-        if id(start) in placed:
+        if id(start) in placed:  # repro: allow(ERT001)
             continue
         # Open a fresh tile at the next tile boundary.
         offset = (offset + TILE - 1) & ~(TILE - 1)
@@ -111,13 +117,13 @@ def _tiled_offsets(root: Node) -> int:
         first_in_tile = True
         while local:
             node = local.popleft()
-            if id(node) in placed:
+            if id(node) in placed:  # repro: allow(ERT001)
                 continue
             if node.nbytes <= room or first_in_tile:
                 node.offset = offset
                 offset += node.nbytes
                 room -= node.nbytes
-                placed.add(id(node))
+                placed.add(id(node))  # repro: allow(ERT001)
                 first_in_tile = False
                 local.extend(node.children_nodes())
                 if room <= 0:

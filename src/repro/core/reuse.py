@@ -20,11 +20,12 @@ containment filter and is bit-identical to the per-read pipeline's.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
+from typing import Callable, Optional
 
 import numpy as np
 
+from repro import telemetry
 from repro.core.engine import ErtSeedingEngine
 from repro.memsim.cache import CacheModel
 from repro.seeding.algorithm import (
@@ -35,6 +36,7 @@ from repro.seeding.algorithm import (
     smems_to_seeds,
 )
 from repro.seeding.types import Mem, SeedingResult
+from repro.telemetry.spans import Tracer
 
 
 @dataclass(frozen=True)
@@ -89,7 +91,7 @@ class KmerReuseDriver:
         #: Optional callable invoked between work units (per read in
         #: phase 1, per k-mer group in phase 3, per read afterwards); the
         #: accelerator trace capture uses it to segment jobs.
-        self.unit_hook = None
+        self.unit_hook: "Optional[Callable[[str], None]]" = None
 
     def _mark(self, label: str) -> None:
         if self.unit_hook is not None:
@@ -112,73 +114,91 @@ class KmerReuseDriver:
         stats = ReuseStats(reads=len(reads))
         engine.begin_read()  # one shared scratch space for the whole batch
 
-        # Phase 1: forward extension; defer every backward search.
-        t0 = time.perf_counter()
-        tasks: "list[BackwardTask]" = []
-        merge = engine.index.config.prefix_merging
-        for rid, read in enumerate(reads):
-            x = 0
-            n = int(read.size)
-            while x < n:
-                forward = engine.forward_search(read, x)
-                engine.stats.forward_searches += 1
-                if forward.is_empty:
-                    x += 1
-                    continue
-                tasks.extend(self._plan_tasks(read, rid, forward.leps, merge))
-                x = forward.end
-            self._mark(f"forward:{rid}")
-        stats.tasks = len(tasks)
-        stats.forward_seconds = time.perf_counter() - t0
+        # Phase wall-clocks come from a batch-local span tracer so the
+        # ReuseStats the §III-C benches read are populated whether or not
+        # global telemetry is on; the telemetry.span() calls mirror the
+        # same phases into the --profile report when it is (ERT003: all
+        # timing flows through repro.telemetry).
+        phases = Tracer()
+        with telemetry.span("seed_batch"):
+            # Phase 1: forward extension; defer every backward search.
+            with telemetry.span("forward"), phases.span("forward"):
+                tasks: "list[BackwardTask]" = []
+                merge = engine.index.config.prefix_merging
+                for rid, read in enumerate(reads):
+                    x = 0
+                    n = int(read.size)
+                    while x < n:
+                        forward = engine.forward_search(read, x)
+                        engine.stats.forward_searches += 1
+                        if forward.is_empty:
+                            x += 1
+                            continue
+                        tasks.extend(self._plan_tasks(read, rid,
+                                                      forward.leps, merge))
+                        x = forward.end
+                    self._mark(f"forward:{rid}")
+                stats.tasks = len(tasks)
 
-        # Phase 2: group by k-mer (hardware sorter stand-in).
-        t0 = time.perf_counter()
-        tasks.sort(key=lambda t: t.kmer)
-        stats.unique_kmers = len({t.kmer for t in tasks})
-        stats.sort_seconds = time.perf_counter() - t0
+            # Phase 2: group by k-mer (hardware sorter stand-in).
+            with telemetry.span("sort"), phases.span("sort"):
+                tasks.sort(key=lambda t: t.kmer)
+                stats.unique_kmers = len({t.kmer for t in tasks})
 
-        # Phase 3: backward extension with the reuse cache attached.
-        t0 = time.perf_counter()
-        cache = CacheModel(self.cache_bytes, ways=self.cache_ways)
-        engine.index.reuse_cache = cache
-        mems: "list[list[Mem]]" = [[] for _ in reads]
-        try:
-            current_kmer = None
-            for task in tasks:
-                if task.kmer != current_kmer:
+            # Phase 3: backward extension with the reuse cache attached.
+            with telemetry.span("backward"), phases.span("backward"):
+                cache = CacheModel(self.cache_bytes, ways=self.cache_ways)
+                engine.index.reuse_cache = cache
+                mems: "list[list[Mem]]" = [[] for _ in reads]
+                try:
+                    current_kmer = None
+                    for task in tasks:
+                        if task.kmer != current_kmer:
+                            if current_kmer is not None:
+                                self._mark(f"kmer:{current_kmer}")
+                            current_kmer = task.kmer
+                        read = reads[task.read_id]
+                        if task.paired:
+                            engine._merged_pair(read, task.position, 1,
+                                                mems[task.read_id])
+                        else:
+                            s = engine.backward_search(read, task.position)
+                            engine.stats.backward_searches += 1
+                            if s < task.position:
+                                mems[task.read_id].append(Mem(s,
+                                                              task.position))
                     if current_kmer is not None:
                         self._mark(f"kmer:{current_kmer}")
-                    current_kmer = task.kmer
-                read = reads[task.read_id]
-                if task.paired:
-                    engine._merged_pair(read, task.position, 1,
-                                        mems[task.read_id])
-                else:
-                    s = engine.backward_search(read, task.position)
-                    engine.stats.backward_searches += 1
-                    if s < task.position:
-                        mems[task.read_id].append(Mem(s, task.position))
-            if current_kmer is not None:
-                self._mark(f"kmer:{current_kmer}")
-        finally:
-            engine.index.reuse_cache = None
-        stats.cache_hits = cache.stats.hits
-        stats.cache_misses = cache.stats.misses
-        stats.backward_seconds = time.perf_counter() - t0
+                finally:
+                    engine.index.reuse_cache = None
+                stats.cache_hits = cache.stats.hits
+                stats.cache_misses = cache.stats.misses
 
-        # Reconciliation + rounds 2 and 3, per read.
-        results = []
-        for rid, read in enumerate(reads):
-            result = SeedingResult()
-            smems = filter_contained(mems[rid])
-            result.smems = smems_to_seeds(engine, read, smems, params)
-            if params.reseed:
-                result.reseed_seeds = reseed_round(engine, read,
-                                                   result.smems, params)
-            if params.use_last:
-                result.last_seeds = last_round(engine, read, params)
-            results.append(result)
-            self._mark(f"reconcile:{rid}")
+            # Reconciliation + rounds 2 and 3, per read.
+            with telemetry.span("reconcile"):
+                results = []
+                for rid, read in enumerate(reads):
+                    result = SeedingResult()
+                    smems = filter_contained(mems[rid])
+                    result.smems = smems_to_seeds(engine, read, smems, params)
+                    if params.reseed:
+                        result.reseed_seeds = reseed_round(
+                            engine, read, result.smems, params)
+                    if params.use_last:
+                        result.last_seeds = last_round(engine, read, params)
+                    results.append(result)
+                    self._mark(f"reconcile:{rid}")
+
+        stats.forward_seconds = phases.stats["forward"].total_s
+        stats.sort_seconds = phases.stats["sort"].total_s
+        stats.backward_seconds = phases.stats["backward"].total_s
+        telemetry.add_counters({
+            "reuse.reads": stats.reads,
+            "reuse.tasks": stats.tasks,
+            "reuse.unique_kmers": stats.unique_kmers,
+            "reuse.cache_hits": stats.cache_hits,
+            "reuse.cache_misses": stats.cache_misses,
+        })
         self.last_stats = stats
         return results
 

@@ -35,6 +35,7 @@ Wire format (little-endian):
 from __future__ import annotations
 
 import struct
+from typing import Sequence
 
 from repro.core.layout import node_size
 from repro.core.nodes import DivergeNode, LeafNode, Node, UniformNode
@@ -58,23 +59,23 @@ def _pack_u24(buf: bytearray, offset: int, value: int) -> None:
     buf[offset:offset + 3] = value.to_bytes(3, "little")
 
 
-def _unpack_u24(blob, offset: int) -> int:
+def _unpack_u24(blob: bytes, offset: int) -> int:
     return int.from_bytes(bytes(blob[offset:offset + 3]), "little")
 
 
-def _pack_2bit(values) -> bytes:
+def _pack_2bit(values: "Sequence[int]") -> bytes:
     out = bytearray((len(values) + 3) // 4)
     for i, v in enumerate(values):
         out[i // 4] |= (int(v) & 3) << (2 * (i % 4))
     return bytes(out)
 
 
-def _unpack_2bit(blob, offset: int, count: int) -> "list[int]":
+def _unpack_2bit(blob: bytes, offset: int, count: int) -> "list[int]":
     return [(blob[offset + i // 4] >> (2 * (i % 4))) & 3
             for i in range(count)]
 
 
-def _pack_bits(flags) -> bytes:
+def _pack_bits(flags: "Sequence[bool]") -> bytes:
     out = bytearray((len(flags) + 7) // 8)
     for i, flag in enumerate(flags):
         if flag:
@@ -82,7 +83,7 @@ def _pack_bits(flags) -> bytes:
     return bytes(out)
 
 
-def _unpack_bits(blob, offset: int, count: int) -> "list[bool]":
+def _unpack_bits(blob: bytes, offset: int, count: int) -> "list[bool]":
     return [bool(blob[offset + i // 8] >> (i % 8) & 1) for i in range(count)]
 
 

@@ -27,6 +27,7 @@ from repro.core.index import (
     ErtIndex,
 )
 from repro.core.nodes import DivergeNode, LeafNode, Node, UniformNode
+from repro.seeding.engine import EngineStats
 
 LINE = 64
 
@@ -46,7 +47,8 @@ class TreeCursor:
     """Character-at-a-time walk over one k-mer's radix tree."""
 
     def __init__(self, index: ErtIndex, code: int, min_hits: int = 1,
-                 stats=None, enter_root: bool = True) -> None:
+                 stats: "EngineStats | None" = None,
+                 enter_root: bool = True) -> None:
         self.index = index
         self.code = code
         self.min_hits = min_hits
@@ -79,6 +81,8 @@ class TreeCursor:
             if self.stats is not None:
                 self.stats.tree_root_fetches += 1
 
+    # repro: hot -- one call per node fetch; counters live in the stats
+    # struct the engine passes in, flushed to telemetry per batch.
     def _emit_node(self, node: Node, phase: str) -> None:
         """Fetch a node: one access per cache line it spans that is not
         the line most recently touched."""
@@ -124,6 +128,7 @@ class TreeCursor:
             else:
                 return
 
+    # repro: hot -- one call per read character consumed.
     def advance(self, c: int, phase: str = PHASE_TRAVERSAL) -> bool:
         """Consume one read character; False (state unchanged) at a dead
         end -- mismatch, missing branch, text end, or a branch whose

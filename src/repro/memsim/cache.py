@@ -25,7 +25,8 @@ class CacheStats:
 
     @property
     def hit_rate(self) -> float:
-        return self.hits / self.accesses if self.accesses else 0.0
+        # Derived reporting ratio, not accounting state (ERT004 exception).
+        return self.hits / self.accesses if self.accesses else 0.0  # repro: allow(ERT004)
 
 
 class CacheModel:
@@ -63,6 +64,7 @@ class CacheModel:
         line = addr // self.line_size
         return line % self.n_sets, line // self.n_sets
 
+    # repro: hot -- called once per memory request; stats stay in CacheStats.
     def lookup(self, addr: int) -> bool:
         """Access ``addr``; return True on hit.  Misses allocate the line."""
         set_idx, tag = self._locate(addr)

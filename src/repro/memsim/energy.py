@@ -6,6 +6,11 @@ burst; idle channels draw background power.  Constants are DDR4-class
 ~2.2 W under load), not datasheet-exact numbers.
 """
 
+# ERT004 exception: energy accounting is float-domain by nature
+# (nanojoules, watts); the integer event counts it consumes are produced
+# and checked elsewhere (PageStats in repro.memsim.dram).
+# repro: allow-file(ERT004)
+
 from __future__ import annotations
 
 from dataclasses import dataclass

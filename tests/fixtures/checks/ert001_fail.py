@@ -1,0 +1,12 @@
+"""ERT001 failing fixture: id() keys a set with no pinning pragma."""
+
+
+def dedupe(items):
+    seen = set()
+    out = []
+    for item in items:
+        if id(item) in seen:
+            continue
+        seen.add(id(item))
+        out.append(item)
+    return out

@@ -1,0 +1,8 @@
+"""ERT001 passing fixture: id() used as a label, never as a key."""
+
+
+def label(items):
+    names = {}
+    for item in items:
+        names[item] = f"obj-{id(item):x}"
+    return names

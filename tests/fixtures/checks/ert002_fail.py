@@ -1,0 +1,11 @@
+"""ERT002 failing fixture: module-level RNG calls inside repro scope."""
+# repro: module(repro.analysis.fake)
+
+import random
+
+import numpy as np
+
+
+def jitter(values):
+    noise = np.random.rand(len(values))
+    return [v + n + random.random() for v, n in zip(values, noise)]

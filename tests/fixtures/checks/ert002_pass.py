@@ -1,0 +1,13 @@
+"""ERT002 passing fixture: explicit seeded generators only."""
+# repro: module(repro.analysis.fake)
+
+import random
+
+import numpy as np
+
+
+def jitter(values, seed):
+    rng = np.random.default_rng(seed)
+    fallback = random.Random(seed)
+    noise = rng.normal(size=len(values))
+    return [v + n + fallback.random() for v, n in zip(values, noise)]

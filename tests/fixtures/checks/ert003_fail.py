@@ -1,0 +1,10 @@
+"""ERT003 failing fixture: ad-hoc perf_counter timing in repro scope."""
+# repro: module(repro.analysis.fake)
+
+import time
+
+
+def timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start

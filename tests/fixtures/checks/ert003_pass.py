@@ -1,0 +1,9 @@
+"""ERT003 passing fixture: timing flows through telemetry spans."""
+# repro: module(repro.analysis.fake)
+
+from repro import telemetry
+
+
+def timed(fn):
+    with telemetry.span("timed"):
+        return fn()

@@ -1,0 +1,8 @@
+"""ERT004 failing fixture: float arithmetic in an accounting module."""
+# repro: module(repro.memsim.fake)
+
+
+def mean_latency(total_cycles, accesses):
+    if accesses == 0:
+        return 0.0
+    return total_cycles / accesses

@@ -1,0 +1,13 @@
+"""ERT004 passing fixture: integer-exact accounting, annotated ratio."""
+# repro: module(repro.memsim.fake)
+
+
+def total_cycles(hits, misses, t_hit, t_miss):
+    return hits * t_hit + misses * t_miss
+
+
+def hit_rate(hits, accesses):
+    # Derived reporting ratio, not accounting state.
+    if accesses == 0:
+        return 0.0  # repro: allow(ERT004)
+    return hits / accesses  # repro: allow(ERT004)

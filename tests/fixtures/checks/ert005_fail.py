@@ -1,0 +1,8 @@
+"""ERT005 failing fixture: a core module importing the accelerator."""
+# repro: module(repro.core.fake)
+
+from repro.accel.machine import AcceleratorSim
+
+
+def run(jobs, config):
+    return AcceleratorSim(config).run(jobs)

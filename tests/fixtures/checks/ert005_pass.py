@@ -1,0 +1,10 @@
+"""ERT005 passing fixture: core importing only lower layers."""
+# repro: module(repro.core.fake)
+
+from repro import telemetry
+from repro.memsim.cache import CacheModel
+
+
+def build_cache(size):
+    telemetry.count("fake.caches_built")
+    return CacheModel(size)

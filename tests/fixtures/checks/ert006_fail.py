@@ -1,0 +1,13 @@
+"""ERT006 failing fixture: mutable default plus a bare except."""
+
+
+def accumulate(value, into=[]):
+    into.append(value)
+    return into
+
+
+def swallow(fn):
+    try:
+        return fn()
+    except:
+        return None

@@ -1,0 +1,15 @@
+"""ERT006 passing fixture: None-default idiom and typed except."""
+
+
+def accumulate(value, into=None):
+    if into is None:
+        into = []
+    into.append(value)
+    return into
+
+
+def swallow(fn):
+    try:
+        return fn()
+    except ValueError:
+        return None

@@ -1,0 +1,10 @@
+"""ERT007 failing fixture: telemetry call inside a hot function."""
+
+from repro import telemetry
+
+
+# repro: hot
+def walk(chars, stats):
+    for c in chars:
+        telemetry.count("walker.chars")
+        stats.chars += 1

@@ -1,0 +1,14 @@
+"""ERT007 passing fixture: hot loop batches into a stats struct; the
+driver flushes the delta at a span boundary."""
+
+from repro import telemetry
+
+
+# repro: hot
+def walk(chars, stats):
+    for c in chars:
+        stats.chars += 1
+
+
+def flush(stats):
+    telemetry.add_counters({"walker.chars": stats.chars})

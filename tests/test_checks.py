@@ -1,0 +1,278 @@
+"""Tests for the repro.checks static-analysis subsystem.
+
+The fixture corpus under ``tests/fixtures/checks`` carries one failing
+and one passing snippet per rule; these tests run the checker on each,
+then cover the pragma machinery, the reporters, the CLI exit codes, and
+the one regression the rule set was built around: reintroducing the
+PR-1 ``id(read)`` cache-key bug must trip ERT001.
+"""
+
+import json
+import os
+import re
+import subprocess
+import sys
+
+import pytest
+
+from repro.checks import (
+    all_rules,
+    check_file,
+    check_source,
+    iter_python_files,
+    parse_pragmas,
+    report_as_dict,
+    run_checks,
+)
+from repro.checks.cli import main as checks_main
+from repro.checks.engine import CheckReport, module_name_for_path
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures", "checks")
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+RULE_IDS = ("ERT001", "ERT002", "ERT003", "ERT004", "ERT005", "ERT006",
+            "ERT007")
+
+
+def fixture(name):
+    return os.path.join(FIXTURES, name)
+
+
+# ----------------------------------------------------------------------
+# Per-rule fixtures: the failing snippet trips exactly its rule, the
+# passing snippet is completely clean.
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("rule_id", RULE_IDS)
+def test_fail_fixture_trips_its_rule(rule_id):
+    violations, _ = check_file(fixture(f"{rule_id.lower()}_fail.py"))
+    assert violations, f"{rule_id} fail fixture produced no violations"
+    assert {v.rule for v in violations} == {rule_id}
+
+
+@pytest.mark.parametrize("rule_id", RULE_IDS)
+def test_pass_fixture_is_clean(rule_id):
+    violations, _ = check_file(fixture(f"{rule_id.lower()}_pass.py"))
+    assert violations == []
+
+
+def test_violations_carry_position_and_message():
+    violations, _ = check_file(fixture("ert006_fail.py"))
+    first = violations[0]
+    assert first.line > 0 and first.col > 0
+    assert "mutable default" in first.message
+    assert re.match(r".+ert006_fail\.py:\d+:\d+: ERT006 ", first.format())
+
+
+# ----------------------------------------------------------------------
+# Pragmas
+# ----------------------------------------------------------------------
+
+
+def test_line_pragma_suppresses_only_its_rule_and_line():
+    source = (
+        "placed = set()\n"
+        "def f(a, b):\n"
+        "    placed.add(id(a))  # repro: allow(ERT001)\n"
+        "    placed.add(id(b))\n"
+    )
+    violations, suppressed = check_source("snippet.py", source)
+    assert suppressed == 1
+    assert [v.rule for v in violations] == ["ERT001"]
+    assert violations[0].line == 4
+
+
+def test_multiline_statement_suppressed_by_pragma_on_any_spanned_line():
+    source = (
+        "def f(a, keys):\n"
+        "    return keys.get(\n"
+        "        id(a))  # repro: allow(ERT001)\n"
+    )
+    violations, suppressed = check_source("snippet.py", source)
+    assert violations == [] and suppressed == 1
+
+
+def test_allow_file_pragma_covers_whole_file():
+    source = (
+        "# repro: module(repro.memsim.fake)\n"
+        "# repro: allow-file(ERT004)\n"
+        "A = 0.5\n"
+        "B = 1.5\n"
+    )
+    violations, suppressed = check_source("snippet.py", source)
+    assert violations == [] and suppressed == 2
+
+
+def test_pragma_inside_string_literal_is_ignored():
+    source = 'DOC = "# repro: allow-file(ERT006)"\ndef f(x=[]):\n    return x\n'
+    violations, _ = check_source("snippet.py", source)
+    assert [v.rule for v in violations] == ["ERT006"]
+
+
+def test_allow_pragma_takes_multiple_rules():
+    pragmas = parse_pragmas("x = 1  # repro: allow(ERT001, ERT004)\n")
+    assert pragmas.allows("ERT001", 1)
+    assert pragmas.allows("ERT004", 1)
+    assert not pragmas.allows("ERT006", 1)
+
+
+def test_hot_pragma_binds_to_def_on_same_or_next_line():
+    pragmas = parse_pragmas("# repro: hot\ndef f():\n    pass\n")
+    assert pragmas.is_hot(2)
+    assert not pragmas.is_hot(3)
+
+
+def test_module_override_enables_scoped_rules():
+    timing = "import time\n\ndef f():\n    return time.perf_counter()\n"
+    violations, _ = check_source("snippet.py", timing)
+    assert violations == []  # bare stem: outside repro scope
+    scoped = "# repro: module(repro.analysis.fake)\n" + timing
+    violations, _ = check_source("snippet.py", scoped)
+    assert [v.rule for v in violations] == ["ERT003"]
+
+
+# ----------------------------------------------------------------------
+# Engine behaviour
+# ----------------------------------------------------------------------
+
+
+def test_module_name_follows_init_chain():
+    assert module_name_for_path(
+        os.path.join(REPO, "src", "repro", "core", "layout.py")
+    ) == "repro.core.layout"
+    assert module_name_for_path(
+        os.path.join(REPO, "src", "repro", "core", "__init__.py")
+    ) == "repro.core"
+
+
+def test_syntax_error_reported_as_parse_violation():
+    violations, _ = check_source("broken.py", "def f(:\n")
+    assert len(violations) == 1
+    assert violations[0].rule == "PARSE"
+
+
+def test_import_alias_resolution_catches_renamed_modules():
+    source = (
+        "# repro: module(repro.analysis.fake)\n"
+        "import numpy.random as nr\n"
+        "x = nr.rand(3)\n"
+    )
+    violations, _ = check_source("snippet.py", source)
+    assert [v.rule for v in violations] == ["ERT002"]
+
+
+def test_iter_python_files_skips_fixture_corpus():
+    files = list(iter_python_files([os.path.join(REPO, "tests")]))
+    assert files
+    assert not any("fixtures" in path for path in files)
+
+
+def test_rule_registry_is_complete():
+    assert tuple(rule.id for rule in all_rules()) == RULE_IDS
+
+
+# ----------------------------------------------------------------------
+# The PR-1 regression: an id()-keyed cache without pinning must fail.
+# ----------------------------------------------------------------------
+
+
+def test_reintroducing_engine_id_key_bug_fails_ert001():
+    path = os.path.join(REPO, "src", "repro", "core", "engine.py")
+    with open(path, encoding="utf-8") as handle:
+        source = handle.read()
+    assert "# repro: allow(ERT001)" in source
+    # As committed the pragma documents the pinning; the file is clean.
+    clean, _ = check_source(path, source)
+    assert not [v for v in clean if v.rule == "ERT001"]
+    # Strip the pragma -- the state of the code before the PR-1 fix.
+    regressed = source.replace("# repro: allow(ERT001)", "")
+    violations, _ = check_source(path, regressed)
+    assert any(v.rule == "ERT001" for v in violations)
+
+
+# ----------------------------------------------------------------------
+# Reporters
+# ----------------------------------------------------------------------
+
+
+def test_json_report_schema():
+    report = run_checks([fixture("ert006_fail.py"),
+                         fixture("ert006_pass.py")], excludes=())
+    doc = report_as_dict(report)
+    assert doc["version"] == 1
+    assert doc["files_checked"] == 2
+    assert doc["violation_count"] == len(doc["violations"]) == 2
+    assert doc["counts"] == {"ERT006": 2}
+    assert isinstance(doc["suppressed"], int)
+    for violation in doc["violations"]:
+        assert set(violation) == {"rule", "path", "line", "col", "message"}
+        assert violation["rule"] == "ERT006"
+    json.dumps(doc)  # must be serializable as-is
+
+
+def test_empty_report_is_ok():
+    report = CheckReport()
+    assert report.ok
+    assert report_as_dict(report)["violation_count"] == 0
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+
+
+def test_cli_exit_zero_on_clean_file(capsys):
+    assert checks_main([fixture("ert006_pass.py")]) == 0
+    assert "ok:" in capsys.readouterr().out
+
+
+def test_cli_exit_one_on_violations(capsys):
+    assert checks_main([fixture("ert006_fail.py")]) == 1
+    out = capsys.readouterr().out
+    assert "ERT006" in out and "violation(s)" in out
+
+
+def test_cli_json_format(capsys):
+    assert checks_main(["--format", "json", fixture("ert006_fail.py")]) == 1
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["violation_count"] == 2
+
+
+def test_cli_rule_selection(capsys):
+    # Only ERT001 requested: the ERT006 fixture comes back clean.
+    assert checks_main(["--rules", "ERT001",
+                        fixture("ert006_fail.py")]) == 0
+    capsys.readouterr()
+    assert checks_main(["--rules", "ERT999",
+                        fixture("ert006_fail.py")]) == 2
+
+
+def test_cli_list_rules(capsys):
+    assert checks_main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in RULE_IDS:
+        assert rule_id in out
+
+
+def test_ert_repro_check_subcommand():
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.cli", "check",
+         fixture("ert006_fail.py")],
+        capture_output=True, text=True, cwd=REPO,
+        env={**os.environ,
+             "PYTHONPATH": os.path.join(REPO, "src")},
+    )
+    assert proc.returncode == 1
+    assert "ERT006" in proc.stdout
+
+
+# ----------------------------------------------------------------------
+# Dogfood: the repository itself stays clean.
+# ----------------------------------------------------------------------
+
+
+def test_repository_tree_is_clean():
+    report = run_checks([os.path.join(REPO, "src"),
+                         os.path.join(REPO, "tests"),
+                         os.path.join(REPO, "benchmarks")])
+    assert report.ok, "\n".join(v.format() for v in report.violations)

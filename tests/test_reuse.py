@@ -33,6 +33,18 @@ def test_stats_populated(ert_index, read_codes, params):
     assert stats.cache_hits + stats.cache_misses > 0
 
 
+def test_phase_seconds_populated_without_telemetry(ert_index, read_codes,
+                                                   params):
+    # The phase timers run on a batch-local Tracer, so the ablation bench
+    # gets real seconds even with global telemetry disabled (the default).
+    driver = KmerReuseDriver(ErtSeedingEngine(ert_index), params)
+    driver.seed_batch(read_codes)
+    stats = driver.last_stats
+    assert stats.forward_seconds > 0.0
+    assert stats.backward_seconds > 0.0
+    assert stats.sort_seconds >= 0.0
+
+
 @pytest.fixture(scope="module")
 def coverage_setup():
     """A high-coverage batch: the §III-C reuse opportunity comes from the
