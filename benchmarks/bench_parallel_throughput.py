@@ -1,0 +1,137 @@
+"""Tracked throughput benchmark for the repro.parallel batch engine.
+
+Emits ``BENCH_parallel.json`` at the repository root -- a machine-
+readable record of reads/sec for the legacy per-read loop, the batch
+API's serial fast path, and the worker pool at 1/2/4 workers, plus a
+batch-size sweep -- so the performance trajectory of the parallel layer
+is tracked across PRs.
+
+Numbers are machine-dependent by nature: ``cpu_count`` is recorded in
+the payload, and pool speedups only materialize with more than one
+core.  The assertions therefore pin what must hold everywhere --
+byte-identical output across every configuration and a serial fast
+path at least on par with the per-read loop -- and leave scaling
+claims to the JSON trajectory.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.core import ErtSeedingEngine
+from repro.parallel import ParallelConfig, seed_reads
+from repro.seeding import seed_read
+
+from conftest import record_result
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_JSON = REPO_ROOT / "BENCH_parallel.json"
+
+WORKER_COUNTS = (1, 2, 4)
+BATCH_SIZES = (16, 64, 256)
+ROUNDS = 3
+
+
+def _time_best(fn, rounds=ROUNDS):
+    """Best-of-N wall time and the last result (min filters scheduler
+    noise, which dwarfs variance on a loaded CI box)."""
+    best = float("inf")
+    result = None
+    for _ in range(rounds):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def test_parallel_throughput_trajectory(ert_index, reads, params):
+    n_reads = len(reads)
+
+    def legacy_loop():
+        engine = ErtSeedingEngine(ert_index)
+        lines = []
+        for i, read in enumerate(reads):
+            for seed in seed_read(engine, read, params).all_seeds:
+                hits = ",".join(str(h) for h in seed.hits)
+                lines.append(f"read_{i}\t{seed.read_start}\t{seed.length}"
+                             f"\t{seed.hit_count}\t{hits}\n")
+        return lines
+
+    legacy_s, _ = _time_best(legacy_loop)
+
+    def run(workers, batch_size=64):
+        config = ParallelConfig(workers=workers, batch_size=batch_size)
+        lines, _stats = seed_reads(ert_index, reads, params, config)
+        return lines
+
+    by_workers = {}
+    baseline_lines = None
+    for workers in WORKER_COUNTS:
+        elapsed, lines = _time_best(lambda w=workers: run(w))
+        if baseline_lines is None:
+            baseline_lines = lines
+        assert lines == baseline_lines, \
+            f"workers={workers} changed the output"
+        by_workers[workers] = {
+            "seconds": elapsed,
+            "reads_per_sec": n_reads / elapsed,
+        }
+
+    by_batch = {}
+    for batch_size in BATCH_SIZES:
+        elapsed, lines = _time_best(
+            lambda b=batch_size: run(workers=1, batch_size=b))
+        assert lines == baseline_lines, \
+            f"batch_size={batch_size} changed the output"
+        by_batch[batch_size] = {
+            "seconds": elapsed,
+            "reads_per_sec": n_reads / elapsed,
+        }
+
+    serial_rps = by_workers[1]["reads_per_sec"]
+    payload = {
+        "benchmark": "parallel_throughput",
+        "workload": {
+            "reads": n_reads,
+            "read_length": int(reads[0].size),
+            "genome_length": len(ert_index.reference),
+            "k": ert_index.config.k,
+        },
+        "cpu_count": os.cpu_count(),
+        "note": ("pool speedups require cpu_count > 1; compare "
+                 "reads_per_sec across PRs on like-for-like hardware"),
+        "legacy_per_read_loop": {
+            "seconds": legacy_s,
+            "reads_per_sec": n_reads / legacy_s,
+        },
+        "workers": {str(w): row for w, row in by_workers.items()},
+        "batch_size_sweep_workers1": {
+            str(b): row for b, row in by_batch.items()},
+        "speedup_vs_serial": {
+            str(w): row["reads_per_sec"] / serial_rps
+            for w, row in by_workers.items()},
+        "serial_fast_path_vs_legacy":
+            serial_rps / (n_reads / legacy_s),
+    }
+    BENCH_JSON.write_text(json.dumps(payload, indent=2, sort_keys=True)
+                          + "\n")
+
+    rows = [f"{'config':<24}{'reads/sec':>12}{'vs serial':>12}"]
+    rows.append(f"{'legacy per-read loop':<24}"
+                f"{n_reads / legacy_s:>12.1f}"
+                f"{(n_reads / legacy_s) / serial_rps:>12.2f}")
+    for workers, row in by_workers.items():
+        rows.append(f"{f'{workers} worker(s)':<24}"
+                    f"{row['reads_per_sec']:>12.1f}"
+                    f"{row['reads_per_sec'] / serial_rps:>12.2f}")
+    record_result(
+        "parallel_throughput",
+        f"parallel seeding throughput (cpu_count={os.cpu_count()})\n"
+        + "\n".join(rows))
+
+    # What must hold on any machine: identical output (asserted above),
+    # sane positive rates, and a serial fast path that does not regress
+    # against the legacy loop (10% tolerance for timer noise).
+    assert all(row["reads_per_sec"] > 0 for row in by_workers.values())
+    assert serial_rps >= 0.9 * (n_reads / legacy_s)

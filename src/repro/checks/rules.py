@@ -234,8 +234,9 @@ class IntegerAccountingRule(Rule):
 
 _PACKAGES = (
     "repro.sequence", "repro.telemetry", "repro.memsim", "repro.seeding",
-    "repro.core", "repro.fmindex", "repro.extend", "repro.accel",
-    "repro.analysis", "repro.baselines", "repro.checks", "repro.cli",
+    "repro.core", "repro.fmindex", "repro.extend", "repro.parallel",
+    "repro.accel", "repro.analysis", "repro.baselines", "repro.checks",
+    "repro.cli",
 )
 
 
@@ -247,9 +248,11 @@ def _everything_but(*allowed: str) -> "tuple[str, ...]":
 #: importing module).  The shape of the DAG: sequence and telemetry are
 #: leaves; memsim sits above telemetry; seeding/core/fmindex/extend form
 #: the algorithmic middle and may flush metrics (repro.telemetry) but
-#: never touch the exporters; accel consumes traces from core/seeding;
-#: analysis/baselines/cli sit on top; checks stands alone so it can lint
-#: a tree too broken to import.
+#: never touch the exporters; parallel orchestrates the middle layers
+#: (it is the sole owner of worker pools / shared memory, rule ERT008);
+#: accel consumes traces from core/seeding; analysis/baselines/cli sit
+#: on top; checks stands alone so it can lint a tree too broken to
+#: import.
 _LAYERING: "dict[str, tuple[str, ...]]" = {
     "repro.sequence": _everything_but("repro.sequence"),
     "repro.telemetry": _everything_but("repro.telemetry"),
@@ -259,17 +262,21 @@ _LAYERING: "dict[str, tuple[str, ...]]" = {
         + ("repro.telemetry.export",),
     "repro.core": ("repro.accel", "repro.analysis", "repro.baselines",
                    "repro.checks", "repro.cli", "repro.extend",
-                   "repro.telemetry.export"),
+                   "repro.parallel", "repro.telemetry.export"),
     "repro.fmindex": ("repro.accel", "repro.analysis", "repro.baselines",
                       "repro.checks", "repro.cli", "repro.core",
-                      "repro.extend", "repro.telemetry.export"),
+                      "repro.extend", "repro.parallel",
+                      "repro.telemetry.export"),
     "repro.extend": ("repro.accel", "repro.analysis", "repro.baselines",
-                     "repro.checks", "repro.cli",
+                     "repro.checks", "repro.cli", "repro.parallel",
                      "repro.telemetry.export"),
+    "repro.parallel": ("repro.accel", "repro.analysis", "repro.baselines",
+                       "repro.checks", "repro.cli",
+                       "repro.telemetry.export"),
     "repro.accel": ("repro.analysis", "repro.baselines", "repro.checks",
-                    "repro.cli", "repro.extend"),
+                    "repro.cli", "repro.extend", "repro.parallel"),
     "repro.baselines": ("repro.accel", "repro.analysis", "repro.checks",
-                        "repro.cli"),
+                        "repro.cli", "repro.parallel"),
     "repro.analysis": ("repro.checks", "repro.cli"),
     "repro.checks": _everything_but("repro.checks"),
 }
@@ -444,6 +451,57 @@ class HotLoopTelemetryRule(Rule):
                     f"span boundary instead (docs/observability.md)")
 
 
+# ----------------------------------------------------------------------
+# ERT008 -- worker pools / shared memory outside repro.parallel
+# ----------------------------------------------------------------------
+
+_POOL_CALLS = frozenset({
+    "concurrent.futures.ProcessPoolExecutor",
+    "concurrent.futures.process.ProcessPoolExecutor",
+    "multiprocessing.Pool",
+    "multiprocessing.pool.Pool",
+    "multiprocessing.Process",
+    "multiprocessing.process.Process",
+    "multiprocessing.context.Process",
+    "multiprocessing.shared_memory.SharedMemory",
+    "shared_memory.SharedMemory",
+})
+
+
+@register
+class WorkerLifecycleRule(Rule):
+    """ERT008: worker lifecycle has exactly one implementation.
+
+    :mod:`repro.parallel` owns process pools and shared-memory segments:
+    it is the only place that knows the attach/close/unlink protocol
+    (resource-tracker semantics differ by start method), preserves output
+    ordering, and folds worker stats/telemetry back into the parent.  An
+    ad-hoc ``ProcessPoolExecutor`` or ``SharedMemory`` elsewhere would
+    silently skip all three.  Route the work through the
+    :mod:`repro.parallel` scheduler instead.
+    """
+
+    id = "ERT008"
+    title = "process pool / shared memory constructed outside repro.parallel"
+    rationale = ("one entry point for worker lifecycle: ordering, "
+                 "telemetry aggregation and segment cleanup live in "
+                 "repro.parallel")
+    scope = ("repro",)
+    exclude_scope = ("repro.parallel",)
+
+    def check(self, src: SourceFile) -> "Iterator[Violation]":
+        for node in src.walk():
+            if not isinstance(node, ast.Call):
+                continue
+            qual = src.qualified_name(node.func)
+            if qual in _POOL_CALLS:
+                yield src.violation(
+                    self.id, node,
+                    f"{qual}() constructed outside repro.parallel; route "
+                    f"worker pools and shared-memory segments through "
+                    f"the repro.parallel scheduler")
+
+
 __all__ = [
     "FootgunRule",
     "HotLoopTelemetryRule",
@@ -452,4 +510,5 @@ __all__ = [
     "IntegerAccountingRule",
     "RawClockRule",
     "UnseededRandomRule",
+    "WorkerLifecycleRule",
 ]

@@ -16,6 +16,13 @@ align many times):
 per-stage wall-clock/counter report) and ``--metrics-out FILE`` (write
 the full telemetry snapshot as JSON, consumable by ``report``).
 
+``seed``, ``align``, ``align-pe`` and ``compare`` take ``--workers N``
+and ``--batch-size M``: reads stream through the :mod:`repro.parallel`
+batch scheduler (shared-memory index, order-preserving merge), so the
+output is byte-identical to a serial run at any worker count.  The
+default worker count comes from ``$REPRO_WORKERS`` (else 1).  See
+``docs/performance.md``.
+
 Every subcommand is a thin shell over the library API, so everything it
 does is equally available programmatically.
 """
@@ -23,6 +30,7 @@ does is equally available programmatically.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from repro import telemetry
@@ -36,8 +44,14 @@ from repro.core import (
     load_ert,
     save_ert,
 )
-from repro.extend import ReadAligner, write_sam
-from repro.seeding import SeedingParams, seed_read
+from repro.extend import write_sam
+from repro.parallel import (
+    ParallelConfig,
+    align_pairs,
+    align_reads,
+    seed_reads,
+)
+from repro.seeding import SeedingParams
 from repro.sequence import (
     GenomeSimulator,
     ReadSimulator,
@@ -89,6 +103,7 @@ def build_parser() -> argparse.ArgumentParser:
     seed.add_argument("--max-hits", type=int, default=500)
     seed.add_argument("--out", default="-")
     _add_telemetry_args(seed)
+    _add_parallel_args(seed)
 
     align = sub.add_parser("align", help="align reads to SAM")
     align.add_argument("--index", required=True)
@@ -96,6 +111,7 @@ def build_parser() -> argparse.ArgumentParser:
     align.add_argument("--min-seed-len", type=int, default=19)
     align.add_argument("--out", required=True)
     _add_telemetry_args(align)
+    _add_parallel_args(align)
 
     align_pe = sub.add_parser(
         "align-pe", help="align interleaved paired-end reads to SAM")
@@ -107,6 +123,7 @@ def build_parser() -> argparse.ArgumentParser:
     align_pe.add_argument("--insert-sd", type=int, default=50)
     align_pe.add_argument("--out", required=True)
     _add_telemetry_args(align_pe)
+    _add_parallel_args(align_pe)
 
     report = sub.add_parser(
         "report", help="render a saved telemetry snapshot (--metrics-out "
@@ -121,6 +138,7 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--reads", required=True)
     compare.add_argument("--k", type=int, default=8)
     compare.add_argument("--min-seed-len", type=int, default=19)
+    _add_parallel_args(compare)
 
     check = sub.add_parser(
         "check", help="run the repo's static-analysis rules "
@@ -136,6 +154,21 @@ def _add_telemetry_args(parser) -> None:
     parser.add_argument(
         "--metrics-out", default=None, metavar="FILE",
         help="collect telemetry and write the snapshot as JSON")
+
+
+def _add_parallel_args(parser) -> None:
+    parser.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="worker processes for the batch scheduler (default: "
+             "$REPRO_WORKERS, else 1 = in-process); output is "
+             "byte-identical at any count")
+    parser.add_argument(
+        "--batch-size", type=int, default=64, metavar="M",
+        help="reads per scheduler batch (default 64)")
+
+
+def _parallel_config(args) -> ParallelConfig:
+    return ParallelConfig(workers=args.workers, batch_size=args.batch_size)
 
 
 def _telemetry_begin(args) -> bool:
@@ -220,28 +253,42 @@ def _open_out(path):
     return sys.stdout if path == "-" else open(path, "w")
 
 
+#: One-entry index cache keyed by (abspath, mtime_ns, size): repeated
+#: subcommand invocations in one process (tests, notebooks, compare
+#: sweeps) reload only when the file actually changed.
+_INDEX_CACHE: "dict[tuple, object]" = {}
+
+
+def load_index_cached(path):
+    """Load a persisted ERT, reusing the in-process copy while the file
+    is unchanged (same resolved path, size and mtime)."""
+    stat = os.stat(path)
+    key = (os.path.abspath(path), stat.st_mtime_ns, stat.st_size)
+    index = _INDEX_CACHE.get(key)
+    if index is None:
+        _INDEX_CACHE.clear()
+        index = _INDEX_CACHE.setdefault(key, load_ert(path))
+    return index
+
+
 def _cmd_seed(args) -> int:
-    index = load_ert(args.index)
-    engine = ErtSeedingEngine(index)
+    index = load_index_cached(args.index)
     reads = read_fastq(args.reads)
     params = SeedingParams(min_seed_len=args.min_seed_len,
                            max_hits_per_seed=args.max_hits)
     active = _telemetry_begin(args)
+    lines, stats = seed_reads(index, reads, params,
+                              config=_parallel_config(args))
     out = _open_out(args.out)
     try:
         out.write("read\tstart\tlength\thit_count\thits\n")
-        n_seeds = 0
-        for read in reads:
-            result = seed_read(engine, read.codes, params)
-            for seed in result.all_seeds:
-                hits = ",".join(str(h) for h in seed.hits)
-                out.write(f"{read.name}\t{seed.read_start}\t{seed.length}"
-                          f"\t{seed.hit_count}\t{hits}\n")
-                n_seeds += 1
+        for line in lines:
+            out.write(line)
     finally:
         if out is not sys.stdout:
             out.close()
-    truncated = engine.stats.truncated_hit_lists
+    n_seeds = len(lines)
+    truncated = stats.truncated_hit_lists
     clipped = (f" ({truncated} hit lists truncated by "
                f"--max-hits {args.max_hits})" if truncated else "")
     print(f"seeded {len(reads)} reads -> {n_seeds} seeds{clipped}",
@@ -254,13 +301,13 @@ def _cmd_seed(args) -> int:
 
 
 def _cmd_align(args) -> int:
-    index = load_ert(args.index)
+    index = load_index_cached(args.index)
     reference = index.reference
-    aligner = ReadAligner(reference, ErtSeedingEngine(index),
-                          SeedingParams(min_seed_len=args.min_seed_len))
     reads = read_fastq(args.reads)
     active = _telemetry_begin(args)
-    records = [aligner.align_sam(r.codes, r.name, r.quality) for r in reads]
+    records, _stats = align_reads(
+        index, reads, SeedingParams(min_seed_len=args.min_seed_len),
+        config=_parallel_config(args))
     write_sam(args.out, reference, records)
     mapped = sum(1 for rec in records if not rec.flag & 0x4)
     print(f"aligned {len(reads)} reads ({mapped} mapped) -> {args.out}",
@@ -270,23 +317,16 @@ def _cmd_align(args) -> int:
 
 
 def _cmd_align_pe(args) -> int:
-    from repro.extend import PairedAligner
-
-    index = load_ert(args.index)
+    index = load_index_cached(args.index)
     reference = index.reference
-    aligner = PairedAligner(
-        ReadAligner(reference, ErtSeedingEngine(index),
-                    SeedingParams(min_seed_len=args.min_seed_len)),
-        insert_mean=args.insert_mean, insert_sd=args.insert_sd)
     reads = read_fastq(args.reads)
     if len(reads) % 2:
         raise SystemExit("interleaved FASTQ must hold an even read count")
     active = _telemetry_begin(args)
-    records = []
-    for first, second in zip(reads[::2], reads[1::2]):
-        name = first.name.split("/")[0]
-        records.extend(aligner.align_pair(first.codes, second.codes, name,
-                                          first.quality, second.quality))
+    records, _stats = align_pairs(
+        index, reads, SeedingParams(min_seed_len=args.min_seed_len),
+        insert_mean=args.insert_mean, insert_sd=args.insert_sd,
+        config=_parallel_config(args))
     write_sam(args.out, reference, records)
     proper = sum(1 for rec in records if rec.flag & 0x2) // 2
     print(f"aligned {len(reads) // 2} pairs ({proper} proper) -> "
@@ -312,7 +352,9 @@ def _cmd_compare(args) -> int:
     rows = []
     profiles = {}
     for name, engine, size in _comparison_engines(reference, args.k):
-        profile = measure_traffic(engine, reads, params, name=name)
+        profile = measure_traffic(engine, reads, params, name=name,
+                                  workers=args.workers,
+                                  batch_size=args.batch_size)
         profiles[name] = profile
         rows.append([name, profile.requests_per_read, profile.kb_per_read,
                      size / 1024])
@@ -327,11 +369,29 @@ def _cmd_compare(args) -> int:
     return 0
 
 
+#: Built comparison indexes keyed by (reference identity, k): one FMD
+#: and one ERT build per configuration, however many times ``compare``
+#: (or a sweep over it) runs in this process.  Engines are constructed
+#: fresh per call -- they carry mutable stats -- but share the cached
+#: indexes, and both indexes share the one loaded reference object.
+_COMPARE_INDEX_CACHE: "dict[tuple, tuple]" = {}
+
+
 def _comparison_engines(reference, k):
+    import zlib
+
     from repro.fmindex import FmdConfig, FmdIndex, FmdSeedingEngine
 
-    fmd_index = FmdIndex(reference, FmdConfig.bwa_mem2())
-    ert_index = build_ert(reference, ErtConfig(k=k, max_seed_len=151))
+    key = (reference.name, len(reference),
+           zlib.crc32(reference.codes.tobytes()), k)
+    cached = _COMPARE_INDEX_CACHE.get(key)
+    if cached is None:
+        _COMPARE_INDEX_CACHE.clear()
+        fmd_index = FmdIndex(reference, FmdConfig.bwa_mem2())
+        ert_index = build_ert(reference, ErtConfig(k=k, max_seed_len=151))
+        cached = _COMPARE_INDEX_CACHE.setdefault(
+            key, (reference, fmd_index, ert_index))
+    _reference, fmd_index, ert_index = cached
     return [
         ("BWA-MEM2 (FMD)", FmdSeedingEngine(fmd_index),
          fmd_index.index_bytes()["total"]),

@@ -41,6 +41,11 @@ class ErtSeedingEngine(SeedingEngine):
         # collected, silently serving another read's cached revcomp/hits.
         # Pinning the array for the cache's lifetime makes its id stable.
         self._pinned: "dict[int, np.ndarray]" = {}
+        # Batch-level revcomp cache filled by begin_batch(); survives
+        # begin_read() so every read of the batch finds its precomputed
+        # reverse complement.
+        self._batch_rev: "dict[int, np.ndarray]" = {}
+        self._batch_pinned: "dict[int, np.ndarray]" = {}
 
     # ------------------------------------------------------------------
     # Per-read state
@@ -50,6 +55,25 @@ class ErtSeedingEngine(SeedingEngine):
         self._rev.clear()
         self._hits.clear()
         self._pinned.clear()
+
+    def begin_batch(self, reads: "list[np.ndarray]") -> None:
+        """Precompute every read's reverse complement with one
+        ``COMPLEMENT`` gather over the concatenated batch instead of one
+        per read (the :mod:`repro.parallel` serial fast path)."""
+        reads = list(reads)
+        # ERT001 exception: each id() key's referent is pinned in
+        # _batch_pinned for the batch cache's lifetime.
+        self._batch_pinned = {id(r): r for r in reads}  # repro: allow(ERT001)
+        self._batch_rev = {}
+        if not reads:
+            return
+        comp = COMPLEMENT[np.concatenate(reads)]
+        base = 0
+        for read in reads:
+            n = int(read.size)
+            rc = comp[base:base + n][::-1]
+            self._batch_rev[id(read)] = rc  # repro: allow(ERT001)
+            base += n
 
     def _key(self, read: np.ndarray) -> int:
         # ERT001 exception: the very next statement pins `read` in
@@ -64,7 +88,9 @@ class ErtSeedingEngine(SeedingEngine):
         key = self._key(read)
         cached = self._rev.get(key)
         if cached is None:
-            cached = COMPLEMENT[read][::-1].copy()
+            cached = self._batch_rev.get(key)
+            if cached is None:
+                cached = COMPLEMENT[read][::-1].copy()
             self._rev[key] = cached
         return cached
 

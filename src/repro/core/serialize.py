@@ -30,12 +30,19 @@ Wire format (little-endian):
     prefix block (only with prefix merging): 2-bit prefix characters,
                 4 per byte, then a validity bitmap (1 bit per position;
                 an occurrence at text position 0 has no prefix)
+
+Decoding is buffer-backed: every parse helper reads through the buffer
+protocol, so a tree can be decoded straight out of ``bytes``, a
+``memoryview`` or a ``uint8`` numpy array without copying the region
+first.  That is what lets :mod:`repro.parallel` attach trees directly
+from a ``multiprocessing.shared_memory`` segment (:func:`tree_blob_view`
+produces the zero-copy window).
 """
 
 from __future__ import annotations
 
 import struct
-from typing import Sequence
+from typing import Sequence, Union
 
 from repro.core.layout import node_size
 from repro.core.nodes import DivergeNode, LeafNode, Node, UniformNode
@@ -45,6 +52,9 @@ import numpy as np
 KIND_DIVERGE = 0
 KIND_UNIFORM = 1
 KIND_LEAF = 2
+
+#: Anything the decode path accepts: the buffer protocol is all it needs.
+BlobLike = Union[bytes, bytearray, memoryview, "np.ndarray"]
 
 _U32 = struct.Struct("<I")
 
@@ -59,7 +69,7 @@ def _pack_u24(buf: bytearray, offset: int, value: int) -> None:
     buf[offset:offset + 3] = value.to_bytes(3, "little")
 
 
-def _unpack_u24(blob: bytes, offset: int) -> int:
+def _unpack_u24(blob: BlobLike, offset: int) -> int:
     return int.from_bytes(bytes(blob[offset:offset + 3]), "little")
 
 
@@ -70,8 +80,8 @@ def _pack_2bit(values: "Sequence[int]") -> bytes:
     return bytes(out)
 
 
-def _unpack_2bit(blob: bytes, offset: int, count: int) -> "list[int]":
-    return [(blob[offset + i // 4] >> (2 * (i % 4))) & 3
+def _unpack_2bit(blob: BlobLike, offset: int, count: int) -> "list[int]":
+    return [(int(blob[offset + i // 4]) >> (2 * (i % 4))) & 3
             for i in range(count)]
 
 
@@ -83,8 +93,28 @@ def _pack_bits(flags: "Sequence[bool]") -> bytes:
     return bytes(out)
 
 
-def _unpack_bits(blob: bytes, offset: int, count: int) -> "list[bool]":
-    return [bool(blob[offset + i // 8] >> (i % 8) & 1) for i in range(count)]
+def _unpack_bits(blob: BlobLike, offset: int, count: int) -> "list[bool]":
+    return [bool(int(blob[offset + i // 8]) >> (i % 8) & 1)
+            for i in range(count)]
+
+
+def tree_blob_view(buffer: BlobLike, base: int, size: int) -> memoryview:
+    """Zero-copy window over one tree's serialized blob.
+
+    ``buffer`` may be the whole trees region in any buffer-protocol form
+    (``bytes``, a shared-memory ``memoryview``, a ``uint8`` array); the
+    returned memoryview shares its storage, so :func:`decode_tree` over it
+    never copies the region.  This is the attach path for indexes living
+    in ``multiprocessing.shared_memory`` (see :mod:`repro.core.io`).
+    """
+    view = memoryview(buffer)
+    if view.format != "B":
+        view = view.cast("B")
+    if base < 0 or base + size > view.nbytes:
+        raise SerializeError(
+            f"blob window [{base}, {base + size}) outside buffer of "
+            f"{view.nbytes} bytes")
+    return view[base:base + size]
 
 
 def encode_tree(root: Node, blob_size: int, prefix_merging: bool) -> bytes:
@@ -153,19 +183,24 @@ def _encode_node(node: Node, prefix_merging: bool) -> bytes:
     raise SerializeError(f"unknown node type {type(node)!r}")
 
 
-def decode_tree(blob: bytes, root_offset: int = 0) -> Node:
-    """Parse a tree blob back into node objects (offsets preserved)."""
+def decode_tree(blob: BlobLike, root_offset: int = 0) -> Node:
+    """Parse a tree blob back into node objects (offsets preserved).
+
+    ``blob`` may be any buffer-protocol object; pair with
+    :func:`tree_blob_view` to decode straight out of a shared-memory
+    segment without copying the region.
+    """
     return _decode_node(blob, root_offset)
 
 
-def _decode_node(blob: bytes, offset: int) -> Node:
+def _decode_node(blob: BlobLike, offset: int) -> Node:
     if offset < 0 or offset >= len(blob):
         raise SerializeError(f"node offset {offset} outside blob")
-    header = blob[offset]
+    header = int(blob[offset])
     kind = header & 3
     if kind == KIND_DIVERGE:
         bitmap = (header >> 2) & 0xF
-        n_ended = blob[offset + 1]
+        n_ended = int(blob[offset + 1])
         count = _unpack_u24(blob, offset + 2)
         cursor = offset + 5
         children = {}
@@ -184,7 +219,7 @@ def _decode_node(blob: bytes, offset: int) -> Node:
         node.nbytes = cursor - offset
         return node
     if kind == KIND_UNIFORM:
-        length = blob[offset + 1]
+        length = int(blob[offset + 1])
         if length == 0:
             raise SerializeError("uniform node with empty run")
         count = _unpack_u24(blob, offset + 2)

@@ -19,8 +19,10 @@ from repro.extend.pipeline import Alignment, ReadAligner
 from repro.extend.sam import SamRecord, sam_header, write_sam
 from repro.extend.seedex import SeedExConfig, SeedExModel
 from repro.extend.smith_waterman import (
+    DEFAULT_SCHEME,
     AlignmentResult,
     ScoringScheme,
+    SwWorkspace,
     banded_edit_distance,
     banded_smith_waterman,
 )
@@ -32,9 +34,11 @@ __all__ = [
     "Placement",
     "AlignmentResult",
     "Chain",
+    "DEFAULT_SCHEME",
     "ReadAligner",
     "SamRecord",
     "ScoringScheme",
+    "SwWorkspace",
     "SeedExConfig",
     "SeedExModel",
     "TracedAlignment",

@@ -23,7 +23,9 @@ from repro.extend.sam import (
 )
 from repro.extend.seedex import ExtensionWorkload
 from repro.extend.smith_waterman import (
+    DEFAULT_SCHEME,
     ScoringScheme,
+    SwWorkspace,
     banded_edit_distance,
     banded_smith_waterman,
 )
@@ -70,11 +72,14 @@ class ReadAligner:
         self.reference = reference
         self.engine = engine
         self.params = params or SeedingParams()
-        self.scheme = scheme or ScoringScheme()
+        self.scheme = scheme or DEFAULT_SCHEME
         self.band = band
         self.max_chains_extended = max_chains_extended
         self.edit_check_first = edit_check_first
         self._text = reference.both_strands
+        # One workspace per aligner: the SW kernel's row buffers are
+        # reused across every extension instead of allocated per call.
+        self._sw_workspace = SwWorkspace()
 
     def align(self, read: np.ndarray,
               name: str = "read") -> AlignmentOutcome:
@@ -139,7 +144,8 @@ class ReadAligner:
         if score is None:
             workload.add_sw(n)
             telemetry.count("align.sw_extensions")
-            sw = banded_smith_waterman(read, window, self.scheme, self.band)
+            sw = banded_smith_waterman(read, window, self.scheme, self.band,
+                                       workspace=self._sw_workspace)
             if not sw.is_aligned:
                 return None
             score = sw.score

@@ -32,6 +32,40 @@ class ScoringScheme:
             raise ValueError("penalties must be negative")
 
 
+#: The BWA-MEM default scheme, constructed once: callers on the per-read
+#: hot path (ReadAligner, the kernels below) reuse this instead of
+#: validating a fresh dataclass per call.
+DEFAULT_SCHEME = ScoringScheme()
+
+
+class SwWorkspace:
+    """Reusable DP row buffers for :func:`banded_smith_waterman`.
+
+    The kernel needs four length-``n + 1`` rows per call; allocating them
+    per row (the previous behavior) dominated short-read extension cost.
+    A workspace owned by the caller (one per :class:`~repro.extend.
+    pipeline.ReadAligner`) amortizes the allocation across every
+    extension of every read; rows are re-filled, never re-allocated,
+    unless a longer target arrives.
+    """
+
+    __slots__ = ("_rows", "_cap")
+
+    def __init__(self) -> None:
+        self._rows: "tuple[np.ndarray, ...] | None" = None
+        self._cap = 0
+
+    def rows(self, n: int) -> "tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]":
+        """Four int64 rows of length ``n + 1`` (contents unspecified --
+        the kernel initializes them)."""
+        if self._rows is None or self._cap < n + 1:
+            self._cap = max(n + 1, 256)
+            self._rows = tuple(np.empty(self._cap, dtype=np.int64)
+                               for _ in range(4))
+        a, b, c, d = self._rows
+        return a[:n + 1], b[:n + 1], c[:n + 1], d[:n + 1]
+
+
 @dataclass(frozen=True)
 class AlignmentResult:
     """Outcome of one banded alignment."""
@@ -46,9 +80,13 @@ class AlignmentResult:
         return self.score > 0
 
 
+# repro: hot -- SeedEx SW lane equivalent; row buffers come from the
+# caller's workspace so the per-row cost is a fill, not an allocation.
 def banded_smith_waterman(query: np.ndarray, target: np.ndarray,
                           scheme: "ScoringScheme | None" = None,
-                          band: int = 41) -> AlignmentResult:
+                          band: int = 41,
+                          workspace: "SwWorkspace | None" = None
+                          ) -> AlignmentResult:
     """Local alignment of ``query`` vs ``target`` within a diagonal band.
 
     Cells with ``|i - j| > band // 2`` are never computed, matching the
@@ -56,7 +94,7 @@ def banded_smith_waterman(query: np.ndarray, target: np.ndarray,
     Returns the best local score and its end coordinates, plus the number
     of cells computed (the hardware cost driver).
     """
-    scheme = scheme or ScoringScheme()
+    scheme = scheme or DEFAULT_SCHEME
     if band < 1:
         raise ValueError("band must be at least 1")
     q = np.asarray(query, dtype=np.int16)
@@ -68,8 +106,10 @@ def banded_smith_waterman(query: np.ndarray, target: np.ndarray,
 
     # Rows over the query; H/E/F over target positions, restricted to the
     # band around the main diagonal.
-    h_prev = np.zeros(n + 1, dtype=np.int64)
-    e_prev = np.full(n + 1, NEG_INF, dtype=np.int64)
+    workspace = workspace or SwWorkspace()
+    h_prev, e_prev, h_cur, e_cur = workspace.rows(n)
+    h_prev[:] = 0
+    e_prev[:] = NEG_INF
     best = 0
     best_q = best_t = 0
     cells = 0
@@ -78,8 +118,8 @@ def banded_smith_waterman(query: np.ndarray, target: np.ndarray,
         hi = min(n, i + half)
         if lo > hi:
             break
-        h_cur = np.zeros(n + 1, dtype=np.int64)
-        e_cur = np.full(n + 1, NEG_INF, dtype=np.int64)
+        h_cur[:] = 0
+        e_cur[:] = NEG_INF
         window = slice(lo, hi + 1)
         match_scores = np.where(t[lo - 1:hi] == q[i - 1],
                                 scheme.match, scheme.mismatch)
@@ -99,7 +139,8 @@ def banded_smith_waterman(query: np.ndarray, target: np.ndarray,
         cells += hi - lo + 1
         if row_best > best:
             best, best_q, best_t = int(row_best), i, row_best_j
-        h_prev, e_prev = h_cur, e_cur
+        h_prev, h_cur = h_cur, h_prev
+        e_prev, e_cur = e_cur, e_prev
     return AlignmentResult(int(best), best_q, best_t, cells)
 
 

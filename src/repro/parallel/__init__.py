@@ -1,0 +1,54 @@
+"""Batch execution layer: shared-memory index, worker-pool pipelines.
+
+The paper's throughput comes from 64 seeding lanes sharing one ERT
+(§IV); this package is the host-software analogue.  One process builds
+(or loads) the index, serializes it once into a shared-memory segment
+(:class:`SharedIndexBuffer`), and N worker processes attach it zero-copy
+(:func:`attach_index`).  Reads stream through a bounded, order-preserving
+batch scheduler (:mod:`repro.parallel.scheduler`), so the merged output
+is byte-identical to a serial run, and per-worker engine stats plus
+telemetry snapshots fold back into the parent.
+
+Entry points:
+
+* :func:`seed_reads` / :func:`align_reads` / :func:`align_pairs` -- the
+  CLI's ``seed`` / ``align`` / ``align-pe`` workloads;
+* :func:`traffic_totals` -- batched memory-traffic measurement for
+  ``compare`` (:func:`repro.analysis.datavol.measure_traffic`);
+* :class:`ParallelConfig` / :func:`default_workers` -- ``--workers`` /
+  ``--batch-size`` / ``$REPRO_WORKERS`` resolution.
+
+Checker rule ERT008 keeps this package the *only* place that constructs
+``ProcessPoolExecutor`` or ``SharedMemory`` objects, so worker lifecycle
+(initialization, telemetry aggregation, segment cleanup) has exactly one
+implementation.  See ``docs/performance.md``.
+"""
+
+from __future__ import annotations
+
+from repro.parallel.batch import ReadBatch, iter_chunks, pack_batch
+from repro.parallel.scheduler import (
+    ParallelConfig,
+    align_pairs,
+    align_reads,
+    default_workers,
+    map_batches,
+    seed_reads,
+    traffic_totals,
+)
+from repro.parallel.shm import SharedIndexBuffer, attach_index
+
+__all__ = [
+    "ParallelConfig",
+    "ReadBatch",
+    "SharedIndexBuffer",
+    "align_pairs",
+    "align_reads",
+    "attach_index",
+    "default_workers",
+    "iter_chunks",
+    "map_batches",
+    "pack_batch",
+    "seed_reads",
+    "traffic_totals",
+]

@@ -1,0 +1,388 @@
+"""The batch scheduler: bounded in-flight fan-out, in-order merge.
+
+Execution model (tentpole of the parallel layer):
+
+* the parent packs reads into :class:`~repro.parallel.batch.ReadBatch`
+  units and submits them to a ``ProcessPoolExecutor`` whose workers were
+  initialized once with an *engine spec* -- either a shared-memory index
+  attachment (``("shm", name, size, gather_limit)``, zero-copy) or a
+  pickled engine (``("pickle", engine)``, for index types without a flat
+  buffer form);
+* at most ``max_inflight`` batches are outstanding; results are consumed
+  strictly in submission order, so concatenating per-batch payloads
+  reproduces the serial output **byte for byte** regardless of worker
+  finishing order;
+* every batch returns ``(payload, stats delta, telemetry snapshot)``;
+  the parent folds stats into one :class:`~repro.seeding.engine.
+  EngineStats` and merges worker telemetry into the live registry, so
+  ``--profile`` / ``--metrics-out`` see the same counters as a serial
+  run;
+* ``workers <= 1`` short-circuits to an in-process loop over the same
+  batches -- no pool, no pickling, live telemetry -- which still gains
+  the per-batch pre-encoding and the engine's ``begin_batch`` hoists
+  (the serial fast path).
+"""
+
+from __future__ import annotations
+
+import os
+from collections import deque
+from concurrent.futures import Future, ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Iterator, Sequence, Tuple
+
+from repro import telemetry
+from repro.core.engine import ErtSeedingEngine
+from repro.core.index import ErtIndex
+from repro.extend.paired import PairedAligner
+from repro.extend.pipeline import ReadAligner
+from repro.extend.sam import SamRecord
+from repro.memsim.trace import MemoryTracer
+from repro.parallel.batch import ReadBatch, iter_chunks, pack_batch
+from repro.parallel.shm import SharedIndexBuffer, attach_index
+from repro.seeding.algorithm import SeedingParams, seed_read
+from repro.seeding.engine import EngineStats, SeedingEngine
+
+#: One batch's wire result: payload, engine-stats delta, telemetry
+#: snapshot delta (None in serial mode, where telemetry records live).
+BatchResult = Tuple[Any, "dict[str, int]", "dict[str, Any] | None"]
+
+EngineSpec = Tuple[Any, ...]
+
+
+@dataclass(frozen=True)
+class ParallelConfig:
+    """Knobs of the batch execution layer.
+
+    ``workers=None`` defers to :func:`default_workers` (the
+    ``REPRO_WORKERS`` environment variable, else 1), which is how the CI
+    matrix drives the whole test suite through the pool without touching
+    every call site.
+    """
+
+    workers: "int | None" = None
+    batch_size: int = 64
+    max_inflight: "int | None" = None
+
+    def resolved_workers(self) -> int:
+        if self.workers is not None:
+            return max(1, self.workers)
+        return default_workers()
+
+    def resolved_inflight(self, workers: int) -> int:
+        if self.max_inflight is not None:
+            return max(1, self.max_inflight)
+        return 2 * workers
+
+
+def default_workers() -> int:
+    """Worker count when unspecified: ``$REPRO_WORKERS``, else 1."""
+    value = os.environ.get("REPRO_WORKERS", "")
+    try:
+        return max(1, int(value))
+    except ValueError:
+        return 1
+
+
+# ----------------------------------------------------------------------
+# Per-batch task runners (constructed inside each worker)
+# ----------------------------------------------------------------------
+
+
+class _SeedRunner:
+    """Three-round seeding; emits the CLI's TSV lines verbatim."""
+
+    def __init__(self, engine: SeedingEngine,
+                 options: "dict[str, Any]") -> None:
+        self.engine = engine
+        self.params: SeedingParams = options["params"]
+
+    def __call__(self, batch: ReadBatch) -> "list[str]":
+        engine = self.engine
+        reads = batch.reads()
+        engine.begin_batch(reads)
+        lines: "list[str]" = []
+        for name, read in zip(batch.names, reads):
+            result = seed_read(engine, read, self.params)
+            for seed in result.all_seeds:
+                hits = ",".join(str(h) for h in seed.hits)
+                lines.append(f"{name}\t{seed.read_start}\t{seed.length}"
+                             f"\t{seed.hit_count}\t{hits}\n")
+        return lines
+
+
+class _AlignRunner:
+    """Single-end alignment to SAM records."""
+
+    def __init__(self, engine: SeedingEngine,
+                 options: "dict[str, Any]") -> None:
+        reference = engine.index.reference  # type: ignore[attr-defined]
+        self.aligner = ReadAligner(reference, engine,
+                                   params=options.get("params"))
+
+    def __call__(self, batch: ReadBatch) -> "list[SamRecord]":
+        reads = batch.reads()
+        self.aligner.engine.begin_batch(reads)
+        return [self.aligner.align_sam(read, name, quality)
+                for name, quality, read
+                in zip(batch.names, batch.qualities, reads)]
+
+
+class _AlignPairsRunner:
+    """Paired-end alignment over interleaved (mate1, mate2) batches."""
+
+    def __init__(self, engine: SeedingEngine,
+                 options: "dict[str, Any]") -> None:
+        reference = engine.index.reference  # type: ignore[attr-defined]
+        self.paired = PairedAligner(
+            ReadAligner(reference, engine, params=options.get("params")),
+            insert_mean=options["insert_mean"],
+            insert_sd=options["insert_sd"])
+
+    def __call__(self, batch: ReadBatch) -> "list[SamRecord]":
+        reads = batch.reads()
+        self.paired.aligner.engine.begin_batch(reads)
+        records: "list[SamRecord]" = []
+        for i in range(0, len(reads), 2):
+            name = batch.names[i].split("/")[0]
+            records.extend(self.paired.align_pair(
+                reads[i], reads[i + 1], name,
+                batch.qualities[i], batch.qualities[i + 1]))
+        return records
+
+
+class _TrafficRunner:
+    """Seeding under a fresh per-batch memory tracer; totals are exactly
+    additive across batches (per-read accounting, no cross-read state)."""
+
+    def __init__(self, engine: SeedingEngine,
+                 options: "dict[str, Any]") -> None:
+        self.engine = engine
+        self.params: SeedingParams = options["params"]
+
+    def __call__(self, batch: ReadBatch) \
+            -> "tuple[int, int, dict[str, tuple[int, int]]]":
+        index = self.engine.index  # type: ignore[attr-defined]
+        tracer = MemoryTracer()
+        index.attach_tracer(tracer)
+        try:
+            reads = batch.reads()
+            self.engine.begin_batch(reads)
+            for read in reads:
+                seed_read(self.engine, read, self.params)
+        finally:
+            index.attach_tracer(None)
+        by_phase = {phase: (stats.requests, stats.bytes)
+                    for phase, stats in tracer.by_phase.items()}
+        return tracer.total_requests, tracer.total_bytes, by_phase
+
+
+_RUNNERS: "dict[str, Callable[[SeedingEngine, dict[str, Any]], Any]]" = {
+    "seed": _SeedRunner,
+    "align": _AlignRunner,
+    "align-pe": _AlignPairsRunner,
+    "traffic": _TrafficRunner,
+}
+
+
+# ----------------------------------------------------------------------
+# Worker lifecycle
+# ----------------------------------------------------------------------
+
+#: Per-process worker state, populated once by the pool initializer.
+_WORKER: "dict[str, Any]" = {}
+
+
+def _make_engine(spec: EngineSpec) -> SeedingEngine:
+    kind = spec[0]
+    if kind == "local":
+        return spec[1]
+    if kind == "shm":
+        _, name, size, gather_limit = spec
+        index = attach_index(name, size)
+        return ErtSeedingEngine(index, gather_limit=gather_limit)
+    if kind == "pickle":
+        return spec[1]
+    raise ValueError(f"unknown engine spec kind {kind!r}")
+
+
+def _worker_init(spec: EngineSpec, task: str, options: "dict[str, Any]",
+                 telemetry_on: bool) -> None:
+    engine = _make_engine(spec)
+    _WORKER["engine"] = engine
+    _WORKER["runner"] = _RUNNERS[task](engine, options)
+    _WORKER["telemetry"] = telemetry_on
+    if telemetry_on:
+        telemetry.reset()
+        telemetry.enable()
+    else:
+        telemetry.disable()
+
+
+def _run_batch(batch: ReadBatch) -> BatchResult:
+    engine: SeedingEngine = _WORKER["engine"]
+    engine.reset_stats()
+    if _WORKER["telemetry"]:
+        telemetry.reset()
+    payload = _WORKER["runner"](batch)
+    snap = telemetry.snapshot() if _WORKER["telemetry"] else None
+    return payload, engine.stats.as_dict(), snap
+
+
+# ----------------------------------------------------------------------
+# The scheduler
+# ----------------------------------------------------------------------
+
+
+def map_batches(spec: EngineSpec, task: str, options: "dict[str, Any]",
+                batches: "Iterable[ReadBatch]",
+                config: ParallelConfig) -> "Iterator[BatchResult]":
+    """Run ``batches`` through the worker pool, yielding results in
+    submission order with at most ``max_inflight`` outstanding.
+
+    With one worker (or a ``local`` spec) everything runs in-process over
+    the same batch units -- the serial fast path.
+    """
+    workers = config.resolved_workers()
+    if workers <= 1 or spec[0] == "local":
+        engine = _make_engine(spec)
+        runner = _RUNNERS[task](engine, options)
+        for batch in batches:
+            engine.reset_stats()
+            yield runner(batch), engine.stats.as_dict(), None
+        return
+    telemetry_on = telemetry.enabled()
+    with ProcessPoolExecutor(
+            max_workers=workers, initializer=_worker_init,
+            initargs=(spec, task, options, telemetry_on)) as pool:
+        pending: "deque[Future[BatchResult]]" = deque()
+        for batch in batches:
+            pending.append(pool.submit(_run_batch, batch))
+            if len(pending) >= config.resolved_inflight(workers):
+                yield pending.popleft().result()
+        while pending:
+            yield pending.popleft().result()
+
+
+def _aggregate(results: "Iterable[BatchResult]") \
+        -> "tuple[list[Any], EngineStats]":
+    """Collect payloads in order; fold stats and worker telemetry."""
+    payloads: "list[Any]" = []
+    stats = EngineStats()
+    for payload, stat_delta, snap in results:
+        payloads.append(payload)
+        stats.add_dict(stat_delta)
+        if snap is not None:
+            telemetry.merge_snapshot(snap)
+    return payloads, stats
+
+
+def _execute_over_index(index: ErtIndex, task: str,
+                        options: "dict[str, Any]",
+                        batches: "list[ReadBatch]", config: ParallelConfig,
+                        gather_limit: int = 500) \
+        -> "tuple[list[Any], EngineStats]":
+    workers = config.resolved_workers()
+    if workers <= 1:
+        engine = ErtSeedingEngine(index, gather_limit=gather_limit)
+        return _aggregate(map_batches(("local", engine), task, options,
+                                      batches, config))
+    with SharedIndexBuffer(index) as shared:
+        spec: EngineSpec = ("shm", shared.name, shared.size, gather_limit)
+        return _aggregate(map_batches(spec, task, options, batches, config))
+
+
+# ----------------------------------------------------------------------
+# High-level entry points (what the CLI calls)
+# ----------------------------------------------------------------------
+
+
+def seed_reads(index: ErtIndex, reads: "Sequence[object]",
+               params: "SeedingParams | None" = None,
+               config: "ParallelConfig | None" = None,
+               gather_limit: int = 500) \
+        -> "tuple[list[str], EngineStats]":
+    """Seed ``reads`` in batches; returns the CLI's TSV lines (one per
+    seed, newline-terminated, in input order) plus aggregated stats."""
+    config = config or ParallelConfig()
+    options: "dict[str, Any]" = {"params": params or SeedingParams()}
+    batches = [pack_batch(chunk)
+               for chunk in iter_chunks(reads, config.batch_size)]
+    per_batch, stats = _execute_over_index(index, "seed", options, batches,
+                                           config, gather_limit)
+    return [line for lines in per_batch for line in lines], stats
+
+
+def align_reads(index: ErtIndex, reads: "Sequence[object]",
+                params: "SeedingParams | None" = None,
+                config: "ParallelConfig | None" = None) \
+        -> "tuple[list[SamRecord], EngineStats]":
+    """Align ``reads`` to SAM records, byte-identical to the serial
+    per-read loop, in input order."""
+    config = config or ParallelConfig()
+    options: "dict[str, Any]" = {"params": params or SeedingParams()}
+    batches = [pack_batch(chunk)
+               for chunk in iter_chunks(reads, config.batch_size)]
+    per_batch, stats = _execute_over_index(index, "align", options,
+                                           batches, config)
+    return [rec for recs in per_batch for rec in recs], stats
+
+
+def align_pairs(index: ErtIndex, reads: "Sequence[object]",
+                params: "SeedingParams | None" = None,
+                insert_mean: int = 350, insert_sd: int = 50,
+                config: "ParallelConfig | None" = None) \
+        -> "tuple[list[SamRecord], EngineStats]":
+    """Align interleaved paired-end ``reads`` (mate1, mate2, ...).
+
+    Batching happens at pair granularity (``batch_size`` pairs per
+    batch) so mates never split across workers.
+    """
+    if len(reads) % 2:
+        raise ValueError("interleaved read set must hold an even count")
+    config = config or ParallelConfig()
+    options: "dict[str, Any]" = {"params": params or SeedingParams(),
+                                 "insert_mean": insert_mean,
+                                 "insert_sd": insert_sd}
+    batches = [pack_batch(chunk)
+               for chunk in iter_chunks(reads, 2 * config.batch_size)]
+    per_batch, stats = _execute_over_index(index, "align-pe", options,
+                                           batches, config)
+    return [rec for recs in per_batch for rec in recs], stats
+
+
+def traffic_totals(engine: SeedingEngine, reads: "Sequence[object]",
+                   params: "SeedingParams | None" = None,
+                   config: "ParallelConfig | None" = None) \
+        -> "tuple[int, int, dict[str, tuple[int, int]]]":
+    """Aggregate per-batch memory-traffic totals over the pool.
+
+    ERT engines ship their index through shared memory; other engine
+    types fall back to pickling the engine once per worker (still one
+    copy per worker, never one per batch).
+    """
+    config = config or ParallelConfig()
+    options: "dict[str, Any]" = {"params": params or SeedingParams()}
+    batches = [pack_batch(chunk)
+               for chunk in iter_chunks(reads, config.batch_size)]
+    workers = config.resolved_workers()
+    if workers <= 1:
+        results, _ = _aggregate(map_batches(("local", engine), "traffic",
+                                            options, batches, config))
+    elif isinstance(engine, ErtSeedingEngine):
+        with SharedIndexBuffer(engine.index) as shared:
+            spec: EngineSpec = ("shm", shared.name, shared.size,
+                                engine.gather_limit)
+            results, _ = _aggregate(map_batches(spec, "traffic", options,
+                                                batches, config))
+    else:
+        results, _ = _aggregate(map_batches(("pickle", engine), "traffic",
+                                            options, batches, config))
+    requests = sum(r[0] for r in results)
+    nbytes = sum(r[1] for r in results)
+    by_phase: "dict[str, tuple[int, int]]" = {}
+    for _, _, phases in results:
+        for phase, (preq, pbytes) in phases.items():
+            prev = by_phase.get(phase, (0, 0))
+            by_phase[phase] = (prev[0] + preq, prev[1] + pbytes)
+    return requests, nbytes, by_phase

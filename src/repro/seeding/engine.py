@@ -77,6 +77,13 @@ class EngineStats:
     def as_dict(self) -> "dict[str, int]":
         return dict(vars(self))
 
+    def add_dict(self, values: "dict[str, int]") -> None:
+        """Accumulate another stats struct's :meth:`as_dict` into this
+        one (the :mod:`repro.parallel` aggregation path: every counter is
+        additive, so per-worker totals merge exactly)."""
+        for name, value in values.items():
+            setattr(self, name, getattr(self, name, 0) + value)
+
 
 class SeedingEngine(abc.ABC):
     """Abstract exact-match engine over the double-strand text."""
@@ -155,6 +162,12 @@ class SeedingEngine(abc.ABC):
     def begin_read(self) -> None:
         """Hook invoked once per read before seeding (engines may reset
         per-read scratch state)."""
+
+    def begin_batch(self, reads: "list[np.ndarray]") -> None:
+        """Hook invoked once per batch before seeding its reads (engines
+        may precompute shared per-batch state, e.g. reverse complements
+        in one pass).  Purely an optimization hook: results must be
+        identical with or without it."""
 
     def reset_stats(self) -> None:
         self.stats.reset()

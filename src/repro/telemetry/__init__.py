@@ -64,6 +64,7 @@ __all__ = [
     "enable",
     "enabled",
     "load_snapshot",
+    "merge_snapshot",
     "observe",
     "registry",
     "render_profile",
@@ -169,3 +170,15 @@ def snapshot() -> dict:
     data = _registry.snapshot()
     data["spans"] = _tracer.snapshot()
     return data
+
+
+def merge_snapshot(data: dict) -> None:
+    """Fold a snapshot produced elsewhere -- typically by a
+    :mod:`repro.parallel` worker process -- into the live registry and
+    tracer: counters and histograms add, gauges last-write-win, span
+    aggregates merge per path.  A no-op while telemetry is disabled, so
+    schedulers can call it unconditionally."""
+    if not _enabled:
+        return
+    _registry.merge_snapshot(data)
+    _tracer.merge_snapshot(data.get("spans", {}))

@@ -90,6 +90,26 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def merge(self, data: dict) -> None:
+        """Fold another histogram's :meth:`as_dict` snapshot into this
+        one.  Bucket edges must match -- merging is only meaningful when
+        both sides observed into the same ladder."""
+        if tuple(data["edges"]) != self.edges:
+            raise ValueError(
+                f"cannot merge histograms with different bucket edges: "
+                f"{tuple(data['edges'])} vs {self.edges}")
+        for i, c in enumerate(data["counts"]):
+            self.counts[i] += c
+        self.count += data["count"]
+        self.total += data["total"]
+        other_min, other_max = data["min"], data["max"]
+        if other_min is not None and (self.min is None
+                                      or other_min < self.min):
+            self.min = other_min
+        if other_max is not None and (self.max is None
+                                      or other_max > self.max):
+            self.max = other_max
+
     def as_dict(self) -> dict:
         return {
             "edges": list(self.edges),
@@ -140,6 +160,19 @@ class MetricsRegistry:
         self.counters.clear()
         self.gauges.clear()
         self.histograms.clear()
+
+    def merge_snapshot(self, data: dict) -> None:
+        """Fold a :meth:`snapshot` -- typically produced in another
+        process by a :mod:`repro.parallel` worker -- into the live
+        metrics: counters add, gauges take the snapshot's value
+        (last-write-wins, matching their semantics), histograms merge
+        bucket-wise."""
+        for name, value in data.get("counters", {}).items():
+            self.counter(name).inc(value)
+        for name, value in data.get("gauges", {}).items():
+            self.gauge(name).set(value)
+        for name, hist in data.get("histograms", {}).items():
+            self.histogram(name, tuple(hist["edges"])).merge(hist)
 
     def snapshot(self) -> dict:
         """Plain-data copy of every metric (JSON-serializable)."""

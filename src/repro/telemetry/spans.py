@@ -45,6 +45,19 @@ class SpanStat:
         self.total_s += elapsed
         self.self_s += elapsed - child_s
 
+    def merge(self, data: dict) -> None:
+        """Fold another :meth:`as_dict` aggregate for the same path into
+        this one (cross-process aggregation for parallel workers)."""
+        if data["count"] == 0:
+            return
+        if self.count == 0 or data["min_s"] < self.min_s:
+            self.min_s = data["min_s"]
+        if data["max_s"] > self.max_s:
+            self.max_s = data["max_s"]
+        self.count += data["count"]
+        self.total_s += data["total_s"]
+        self.self_s += data["self_s"]
+
     def as_dict(self) -> dict:
         return {"count": self.count, "total_s": self.total_s,
                 "self_s": self.self_s, "min_s": self.min_s,
@@ -109,6 +122,16 @@ class Tracer:
                 f"cannot reset the tracer inside an open span "
                 f"({self._stack[-1].path!r})")
         self.stats.clear()
+
+    def merge_snapshot(self, data: dict) -> None:
+        """Fold a :meth:`snapshot` from another tracer (typically a
+        :mod:`repro.parallel` worker process) into the live aggregates,
+        path by path."""
+        for path, stat_data in data.items():
+            stat = self.stats.get(path)
+            if stat is None:
+                stat = self.stats[path] = SpanStat()
+            stat.merge(stat_data)
 
     def snapshot(self) -> dict:
         """Plain-data copy of the per-path aggregates, sorted by path so

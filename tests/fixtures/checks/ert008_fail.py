@@ -1,0 +1,11 @@
+"""ERT008 failing fixture: ad-hoc pool + shared memory outside parallel."""
+# repro: module(repro.analysis.fake)
+
+from concurrent.futures import ProcessPoolExecutor
+from multiprocessing import shared_memory
+
+
+def fan_out(payload, batches, work):
+    segment = shared_memory.SharedMemory(create=True, size=len(payload))
+    with ProcessPoolExecutor(max_workers=4) as pool:
+        return list(pool.map(work, batches)), segment

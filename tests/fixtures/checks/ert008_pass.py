@@ -1,0 +1,12 @@
+"""ERT008 passing fixture: worker fan-out routed through repro.parallel
+(and the same constructors are legal inside repro.parallel itself)."""
+# repro: module(repro.parallel.fake)
+
+from concurrent.futures import ProcessPoolExecutor
+from multiprocessing import shared_memory
+
+
+def fan_out(payload, work_batches, initargs):
+    segment = shared_memory.SharedMemory(create=True, size=len(payload))
+    pool = ProcessPoolExecutor(max_workers=4, initargs=initargs)
+    return pool, segment
