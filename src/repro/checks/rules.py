@@ -502,6 +502,79 @@ class WorkerLifecycleRule(Rule):
                     f"the repro.parallel scheduler")
 
 
+# ----------------------------------------------------------------------
+# ERT009 -- swallowed pool failures
+# ----------------------------------------------------------------------
+
+#: Method names that submit work to or collect results from a pool.
+_POOL_INTERACTIONS = frozenset({"submit", "result"})
+
+#: Exception names considered "broad": a handler catching one of these
+#: around pool interaction sees every possible failure kind.
+_BROAD_EXCEPTIONS = frozenset({"Exception", "BaseException"})
+
+
+@register
+class SwallowedPoolFailureRule(Rule):
+    """ERT009: pool failures route through the typed-error taxonomy.
+
+    The fault-tolerance guarantees of :mod:`repro.parallel` (retry
+    budget, in-order merge integrity, serial degradation) all assume
+    failures surface as :class:`~repro.parallel.faults.
+    ParallelExecutionError` subclasses.  A broad ``except`` around
+    ``submit()`` / ``result()`` that swallows the exception instead of
+    re-raising bypasses classification entirely: a dead worker looks
+    like a missing batch, and the byte-identical merge silently loses
+    output.  Broad handlers guarding pool interaction must contain a
+    ``raise`` (re-raise, or raise a typed error built from the caught
+    exception).
+    """
+
+    id = "ERT009"
+    title = "broad except swallows a pool failure"
+    rationale = ("worker failures must surface as typed "
+                 "ParallelExecutionError subclasses; a swallowed pool "
+                 "exception silently drops a batch from the merge")
+    scope = ("repro.parallel",)
+
+    def check(self, src: SourceFile) -> "Iterator[Violation]":
+        for node in src.walk():
+            if not isinstance(node, ast.Try):
+                continue
+            if not self._touches_pool(node.body):
+                continue
+            for handler in node.handlers:
+                if not self._is_broad(handler):
+                    continue
+                if any(isinstance(sub, ast.Raise)
+                       for sub in ast.walk(handler)):
+                    continue
+                yield src.violation(
+                    self.id, handler,
+                    "broad except around pool submit()/result() without a "
+                    "raise; route the failure through the typed errors in "
+                    "repro.parallel.faults (or re-raise)")
+
+    @staticmethod
+    def _touches_pool(body: "list[ast.stmt]") -> bool:
+        for stmt in body:
+            for node in ast.walk(stmt):
+                if (isinstance(node, ast.Call)
+                        and isinstance(node.func, ast.Attribute)
+                        and node.func.attr in _POOL_INTERACTIONS):
+                    return True
+        return False
+
+    @staticmethod
+    def _is_broad(handler: ast.ExceptHandler) -> bool:
+        if handler.type is None:
+            return True
+        types = (handler.type.elts if isinstance(handler.type, ast.Tuple)
+                 else [handler.type])
+        return any(isinstance(t, ast.Name) and t.id in _BROAD_EXCEPTIONS
+                   for t in types)
+
+
 __all__ = [
     "FootgunRule",
     "HotLoopTelemetryRule",
@@ -509,6 +582,7 @@ __all__ = [
     "ImportLayeringRule",
     "IntegerAccountingRule",
     "RawClockRule",
+    "SwallowedPoolFailureRule",
     "UnseededRandomRule",
     "WorkerLifecycleRule",
 ]

@@ -20,7 +20,10 @@ the full telemetry snapshot as JSON, consumable by ``report``).
 and ``--batch-size M``: reads stream through the :mod:`repro.parallel`
 batch scheduler (shared-memory index, order-preserving merge), so the
 output is byte-identical to a serial run at any worker count.  The
-default worker count comes from ``$REPRO_WORKERS`` (else 1).  See
+default worker count comes from ``$REPRO_WORKERS`` (else 1).  With
+workers > 1 they also take ``--retries R`` (per-batch retry budget
+after a worker crash or batch timeout; default ``$REPRO_RETRIES``,
+else 2) and ``--batch-timeout SEC``; see the failure model in
 ``docs/performance.md``.
 
 Every subcommand is a thin shell over the library API, so everything it
@@ -32,6 +35,7 @@ from __future__ import annotations
 import argparse
 import os
 import sys
+import zlib
 
 from repro import telemetry
 from repro.checks import cli as checks_cli
@@ -156,19 +160,81 @@ def _add_telemetry_args(parser) -> None:
         help="collect telemetry and write the snapshot as JSON")
 
 
+def _positive_int(label):
+    """Argparse type factory: an int that must be >= 1, with an error
+    message naming the option (rejected at parse time rather than
+    silently clamped deep inside ``ParallelConfig``)."""
+    def parse(text):
+        try:
+            value = int(text)
+        except ValueError:
+            raise argparse.ArgumentTypeError(
+                f"{label} must be an integer, got {text!r}")
+        if value < 1:
+            raise argparse.ArgumentTypeError(
+                f"{label} must be >= 1, got {value}")
+        return value
+    return parse
+
+
+def _nonnegative_int(label):
+    """Argparse type for an int >= 0 (retry budgets: 0 = fail fast)."""
+    def parse(text):
+        try:
+            value = int(text)
+        except ValueError:
+            raise argparse.ArgumentTypeError(
+                f"{label} must be an integer, got {text!r}")
+        if value < 0:
+            raise argparse.ArgumentTypeError(
+                f"{label} must be >= 0, got {value}")
+        return value
+    return parse
+
+
+def _positive_float(label):
+    """Argparse type for a float that must be > 0 (timeouts)."""
+    def parse(text):
+        try:
+            value = float(text)
+        except ValueError:
+            raise argparse.ArgumentTypeError(
+                f"{label} must be a number, got {text!r}")
+        if value <= 0:
+            raise argparse.ArgumentTypeError(
+                f"{label} must be > 0, got {value}")
+        return value
+    return parse
+
+
 def _add_parallel_args(parser) -> None:
     parser.add_argument(
-        "--workers", type=int, default=None, metavar="N",
+        "--workers", type=_positive_int("--workers"), default=None,
+        metavar="N",
         help="worker processes for the batch scheduler (default: "
              "$REPRO_WORKERS, else 1 = in-process); output is "
              "byte-identical at any count")
     parser.add_argument(
-        "--batch-size", type=int, default=64, metavar="M",
+        "--batch-size", type=_positive_int("--batch-size"), default=64,
+        metavar="M",
         help="reads per scheduler batch (default 64)")
+    parser.add_argument(
+        "--retries", type=_nonnegative_int("--retries"), default=None,
+        metavar="R",
+        help="per-batch retry budget after a worker crash or batch "
+             "timeout (default: $REPRO_RETRIES, else 2; 0 = fail on "
+             "first fault)")
+    parser.add_argument(
+        "--batch-timeout", type=_positive_float("--batch-timeout"),
+        default=None, metavar="SEC",
+        help="seconds to wait for one batch before killing and "
+             "respawning the pool (default: wait forever)")
 
 
 def _parallel_config(args) -> ParallelConfig:
-    return ParallelConfig(workers=args.workers, batch_size=args.batch_size)
+    return ParallelConfig(workers=args.workers, batch_size=args.batch_size,
+                          retries=args.retries,
+                          batch_timeout=args.batch_timeout)
 
 
 def _telemetry_begin(args) -> bool:
@@ -253,17 +319,39 @@ def _open_out(path):
     return sys.stdout if path == "-" else open(path, "w")
 
 
-#: One-entry index cache keyed by (abspath, mtime_ns, size): repeated
-#: subcommand invocations in one process (tests, notebooks, compare
-#: sweeps) reload only when the file actually changed.
+#: One-entry index cache keyed by (abspath, inode, mtime_ns, size,
+#: content fingerprint): repeated subcommand invocations in one process
+#: (tests, notebooks, compare sweeps) reload only when the file actually
+#: changed.
 _INDEX_CACHE: "dict[tuple, object]" = {}
+
+_FINGERPRINT_PAGE = 4096
+
+
+def _index_fingerprint(path, size):
+    """CRC of the file's first and last page.
+
+    Stat alone is not enough for the cache key: on filesystems with
+    coarse mtime granularity a same-size rewrite within one tick is
+    invisible to ``(mtime_ns, size)``, and the cache would serve the
+    stale index.  Hashing two pages is O(1) in file size and catches any
+    rewrite that touches the header or the trailing payload.
+    """
+    with open(path, "rb") as fh:
+        crc = zlib.crc32(fh.read(_FINGERPRINT_PAGE))
+        if size > _FINGERPRINT_PAGE:
+            fh.seek(max(_FINGERPRINT_PAGE, size - _FINGERPRINT_PAGE))
+            crc = zlib.crc32(fh.read(_FINGERPRINT_PAGE), crc)
+    return crc
 
 
 def load_index_cached(path):
     """Load a persisted ERT, reusing the in-process copy while the file
-    is unchanged (same resolved path, size and mtime)."""
+    is unchanged (same resolved path, inode, size, mtime and first/last
+    page content)."""
     stat = os.stat(path)
-    key = (os.path.abspath(path), stat.st_mtime_ns, stat.st_size)
+    key = (os.path.abspath(path), stat.st_ino, stat.st_mtime_ns,
+           stat.st_size, _index_fingerprint(path, stat.st_size))
     index = _INDEX_CACHE.get(key)
     if index is None:
         _INDEX_CACHE.clear()

@@ -34,6 +34,10 @@ class ErtSeedingEngine(SeedingEngine):
         self.index = index
         self.gather_limit = gather_limit
         self.name = "ert-pm" if index.config.prefix_merging else "ert"
+        # The ERT walk resolves k characters through the entry table
+        # before any tree traversal, so no primitive accepts a segment
+        # shorter than k; seed_read() skips such reads up front.
+        self.min_query_len = index.config.k
         self._rev: "dict[int, np.ndarray]" = {}
         self._hits: "dict[tuple, tuple[int, tuple[int, ...]]]" = {}
         # Strong references backing every id() used as a cache key below:

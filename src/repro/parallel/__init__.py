@@ -16,7 +16,12 @@ Entry points:
 * :func:`traffic_totals` -- batched memory-traffic measurement for
   ``compare`` (:func:`repro.analysis.datavol.measure_traffic`);
 * :class:`ParallelConfig` / :func:`default_workers` -- ``--workers`` /
-  ``--batch-size`` / ``$REPRO_WORKERS`` resolution.
+  ``--batch-size`` / ``$REPRO_WORKERS`` resolution;
+* :mod:`repro.parallel.faults` -- the typed failure taxonomy
+  (:class:`ParallelExecutionError` and friends) and :class:`RetryPolicy`
+  behind worker-crash recovery, per-batch timeouts and the serial
+  degradation path (``--retries`` / ``--batch-timeout`` /
+  ``$REPRO_RETRIES``).
 
 Checker rule ERT008 keeps this package the *only* place that constructs
 ``ProcessPoolExecutor`` or ``SharedMemory`` objects, so worker lifecycle
@@ -27,6 +32,16 @@ implementation.  See ``docs/performance.md``.
 from __future__ import annotations
 
 from repro.parallel.batch import ReadBatch, iter_chunks, pack_batch
+from repro.parallel.faults import (
+    BatchSerializationError,
+    BatchTaskError,
+    BatchTimeoutError,
+    ParallelExecutionError,
+    PoolUnavailableError,
+    RetryPolicy,
+    WorkerCrashError,
+    default_retries,
+)
 from repro.parallel.scheduler import (
     ParallelConfig,
     align_pairs,
@@ -39,12 +54,20 @@ from repro.parallel.scheduler import (
 from repro.parallel.shm import SharedIndexBuffer, attach_index
 
 __all__ = [
+    "BatchSerializationError",
+    "BatchTaskError",
+    "BatchTimeoutError",
     "ParallelConfig",
+    "ParallelExecutionError",
+    "PoolUnavailableError",
     "ReadBatch",
+    "RetryPolicy",
     "SharedIndexBuffer",
+    "WorkerCrashError",
     "align_pairs",
     "align_reads",
     "attach_index",
+    "default_retries",
     "default_workers",
     "iter_chunks",
     "map_batches",

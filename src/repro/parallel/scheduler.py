@@ -1,4 +1,5 @@
-"""The batch scheduler: bounded in-flight fan-out, in-order merge.
+"""The batch scheduler: bounded in-flight fan-out, in-order merge,
+fault-tolerant execution.
 
 Execution model (tentpole of the parallel layer):
 
@@ -21,14 +22,35 @@ Execution model (tentpole of the parallel layer):
   batches -- no pool, no pickling, live telemetry -- which still gains
   the per-batch pre-encoding and the engine's ``begin_batch`` hoists
   (the serial fast path).
+
+Fault model (see :mod:`repro.parallel.faults` and docs/performance.md):
+
+* failures are classified into typed errors -- a dead worker or expired
+  per-batch timeout is *retryable* (batches are pure functions), an
+  exception raised by the task itself or a pickling failure is
+  deterministic and propagates immediately;
+* on a retryable failure the scheduler kills the pool, backs off
+  exponentially, respawns, and resubmits every unconsumed batch in
+  submission order -- the merge point never moves, so output stays
+  byte-identical to serial across any number of recoveries;
+* every freshly (re)spawned pool is probed with a no-op task before
+  batches flow, so "the pool cannot be built" (e.g. its initializer
+  always dies) is detected deterministically; in that case the remaining
+  batches degrade to the in-process serial path with a
+  ``RuntimeWarning`` and a ``parallel.fallback_serial`` telemetry
+  counter rather than failing the run.
 """
 
 from __future__ import annotations
 
 import os
+import time
+import warnings
 from collections import deque
-from concurrent.futures import Future, ProcessPoolExecutor
+from concurrent.futures import BrokenExecutor, Future, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
 from dataclasses import dataclass
+from pickle import PicklingError
 from typing import Any, Callable, Iterable, Iterator, Sequence, Tuple
 
 from repro import telemetry
@@ -39,6 +61,16 @@ from repro.extend.pipeline import ReadAligner
 from repro.extend.sam import SamRecord
 from repro.memsim.trace import MemoryTracer
 from repro.parallel.batch import ReadBatch, iter_chunks, pack_batch
+from repro.parallel.faults import (
+    BatchSerializationError,
+    BatchTaskError,
+    BatchTimeoutError,
+    ParallelExecutionError,
+    PoolUnavailableError,
+    RetryPolicy,
+    WorkerCrashError,
+    default_retries,
+)
 from repro.parallel.shm import SharedIndexBuffer, attach_index
 from repro.seeding.algorithm import SeedingParams, seed_read
 from repro.seeding.engine import EngineStats, SeedingEngine
@@ -57,12 +89,19 @@ class ParallelConfig:
     ``workers=None`` defers to :func:`default_workers` (the
     ``REPRO_WORKERS`` environment variable, else 1), which is how the CI
     matrix drives the whole test suite through the pool without touching
-    every call site.
+    every call site.  ``retries=None`` likewise defers to
+    ``$REPRO_RETRIES`` (else :data:`~repro.parallel.faults.
+    DEFAULT_RETRIES`); ``batch_timeout`` is in seconds, ``None`` waits
+    forever.
     """
 
     workers: "int | None" = None
     batch_size: int = 64
     max_inflight: "int | None" = None
+    retries: "int | None" = None
+    batch_timeout: "float | None" = None
+    backoff_s: float = 0.05
+    backoff_factor: float = 2.0
 
     def resolved_workers(self) -> int:
         if self.workers is not None:
@@ -74,6 +113,14 @@ class ParallelConfig:
             return max(1, self.max_inflight)
         return 2 * workers
 
+    def resolved_policy(self) -> RetryPolicy:
+        retries = (self.retries if self.retries is not None
+                   else default_retries())
+        return RetryPolicy(retries=max(0, retries),
+                           backoff_s=self.backoff_s,
+                           backoff_factor=self.backoff_factor,
+                           batch_timeout=self.batch_timeout)
+
 
 def default_workers() -> int:
     """Worker count when unspecified: ``$REPRO_WORKERS``, else 1."""
@@ -81,6 +128,10 @@ def default_workers() -> int:
     try:
         return max(1, int(value))
     except ValueError:
+        if value:
+            warnings.warn(
+                f"ignoring unparsable REPRO_WORKERS={value!r}; "
+                f"running with 1 worker", RuntimeWarning, stacklevel=2)
         return 1
 
 
@@ -208,18 +259,50 @@ def _make_engine(spec: EngineSpec) -> SeedingEngine:
 
 def _worker_init(spec: EngineSpec, task: str, options: "dict[str, Any]",
                  telemetry_on: bool) -> None:
+    fault = options.get("fault")
+    if fault is not None and fault.get("kind") == "init-raise":
+        raise RuntimeError("injected pool-init fault")
     engine = _make_engine(spec)
     _WORKER["engine"] = engine
     _WORKER["runner"] = _RUNNERS[task](engine, options)
     _WORKER["telemetry"] = telemetry_on
+    _WORKER["fault"] = fault
+    # fork_reset, not reset: under fork this process may have inherited
+    # an open parent span (the recovery span during a respawn); a plain
+    # reset would refuse and kill the worker in its initializer.
+    telemetry.fork_reset()
     if telemetry_on:
-        telemetry.reset()
         telemetry.enable()
     else:
         telemetry.disable()
 
 
+def _trip_injected_fault(fault: "dict[str, Any] | None") -> None:
+    """Fault-injection hook for the test battery
+    (``tests/test_parallel_faults.py``): trip at most once per ``token``
+    file (``O_EXCL`` creation is the cross-process turnstile), so a
+    retried batch runs clean on a respawned pool."""
+    if fault is None:
+        return
+    token = fault.get("token")
+    if token is not None:
+        try:
+            os.close(os.open(token, os.O_CREAT | os.O_EXCL | os.O_WRONLY))
+        except FileExistsError:
+            return
+    kind = fault["kind"]
+    if kind == "sigkill":
+        import signal
+
+        os.kill(os.getpid(), signal.SIGKILL)
+    elif kind == "hang":
+        time.sleep(float(fault.get("seconds", 30.0)))
+    elif kind == "raise":
+        raise RuntimeError("injected batch fault")
+
+
 def _run_batch(batch: ReadBatch) -> BatchResult:
+    _trip_injected_fault(_WORKER.get("fault"))
     engine: SeedingEngine = _WORKER["engine"]
     engine.reset_stats()
     if _WORKER["telemetry"]:
@@ -227,6 +310,224 @@ def _run_batch(batch: ReadBatch) -> BatchResult:
     payload = _WORKER["runner"](batch)
     snap = telemetry.snapshot() if _WORKER["telemetry"] else None
     return payload, engine.stats.as_dict(), snap
+
+
+# ----------------------------------------------------------------------
+# Pool lifecycle (crash recovery)
+# ----------------------------------------------------------------------
+
+
+def _worker_ready() -> bool:
+    """No-op probe task: completing it proves the pool's workers came up
+    (their initializer ran) and the result channel works."""
+    return True
+
+
+class _PoolManager:
+    """Owns the executor across respawns.
+
+    One instance spans the whole run: it builds the initial pool and
+    kills/rebuilds it after a retryable failure.  Every (re)spawn is
+    probed with a no-op task before batches flow -- a pool whose
+    initializer always dies is indistinguishable from one that cannot
+    be constructed, and the probe converts both into a deterministic
+    :class:`PoolUnavailableError` instead of letting init failures
+    masquerade as mid-batch worker crashes.
+    """
+
+    def __init__(self, workers: int, spec: EngineSpec, task: str,
+                 options: "dict[str, Any]", telemetry_on: bool) -> None:
+        self._workers = workers
+        self._initargs = (spec, task, options, telemetry_on)
+        self._pool: "ProcessPoolExecutor | None" = None
+
+    def spawn(self) -> None:
+        try:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self._workers, initializer=_worker_init,
+                initargs=self._initargs)
+            self._pool.submit(_worker_ready).result()
+        except Exception as exc:
+            self.kill()
+            raise PoolUnavailableError(
+                f"cannot build a working {self._workers}-worker pool: "
+                f"{exc}") from exc
+
+    def submit(self, batch: ReadBatch) -> "Future[BatchResult]":
+        """Submit one batch; a submission-time pool failure comes back
+        as a failed future so the merge loop owns all classification."""
+        assert self._pool is not None
+        try:
+            return self._pool.submit(_run_batch, batch)
+        except (BrokenExecutor, RuntimeError) as exc:
+            failed: "Future[BatchResult]" = Future()
+            failed.set_exception(exc)
+            return failed
+
+    def kill(self) -> None:
+        """Tear the pool down without waiting: cancel queued work and
+        terminate worker processes outright, so a wedged batch cannot
+        stall recovery (or leak a worker holding the index mapping)."""
+        pool, self._pool = self._pool, None
+        if pool is None:
+            return
+        processes = list((getattr(pool, "_processes", None) or {}).values())
+        pool.shutdown(wait=False, cancel_futures=True)
+        for proc in processes:
+            try:
+                proc.kill()
+            except (OSError, ValueError, AttributeError):
+                pass  # already dead or reaped
+        for proc in processes:
+            try:
+                proc.join(timeout=1.0)
+            except (OSError, ValueError, AssertionError):
+                pass
+
+    def respawn(self) -> None:
+        self.kill()
+        self.spawn()
+
+    def shutdown(self) -> None:
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True, cancel_futures=True)
+
+
+class _PendingBatch:
+    """Submission-order bookkeeping for one in-flight batch."""
+
+    __slots__ = ("index", "batch", "failures", "future")
+
+    def __init__(self, index: int, batch: ReadBatch,
+                 future: "Future[BatchResult]") -> None:
+        self.index = index
+        self.batch = batch
+        self.failures = 0
+        self.future = future
+
+
+def _classify_failure(exc: BaseException,
+                      batch_index: int) -> ParallelExecutionError:
+    """Map a raw executor exception to the typed taxonomy."""
+    if isinstance(exc, FuturesTimeoutError):
+        return BatchTimeoutError(
+            f"batch {batch_index} timed out", batch_index)
+    if isinstance(exc, BrokenExecutor):
+        return WorkerCrashError(
+            f"worker pool broke while running batch {batch_index}: {exc}",
+            batch_index)
+    if isinstance(exc, PicklingError):
+        return BatchSerializationError(
+            f"batch {batch_index} failed to cross the process boundary: "
+            f"{exc}", batch_index)
+    return BatchTaskError(
+        f"task raised inside the worker on batch {batch_index}: "
+        f"{exc!r}", batch_index)
+
+
+def _fallback_engine(spec: EngineSpec) -> SeedingEngine:
+    """In-process engine for the degraded path: attach the (still live)
+    parent-owned segment for shm specs, reuse the engine otherwise."""
+    if spec[0] == "shm":
+        _, name, size, gather_limit = spec
+        return ErtSeedingEngine(attach_index(name, size),
+                                gather_limit=gather_limit)
+    return spec[1]
+
+
+def _serial_batches(engine: SeedingEngine, task: str,
+                    options: "dict[str, Any]",
+                    batches: "Iterable[ReadBatch]") \
+        -> "Iterator[BatchResult]":
+    """The in-process loop shared by the serial fast path and the
+    degraded-mode fallback."""
+    runner = _RUNNERS[task](engine, options)
+    for batch in batches:
+        engine.reset_stats()
+        yield runner(batch), engine.stats.as_dict(), None
+
+
+def _degrade_to_serial(spec: EngineSpec, task: str,
+                       options: "dict[str, Any]",
+                       batches: "Sequence[ReadBatch]",
+                       cause: ParallelExecutionError) \
+        -> "Iterator[BatchResult]":
+    """Graceful degradation: finish the remaining batches in-process.
+
+    Output is unaffected -- the serial loop runs the same batch units
+    through the same runners -- only throughput degrades, which is worth
+    a warning and a counter but never a failed run.
+    """
+    warnings.warn(
+        f"worker pool unavailable ({cause}); degrading to in-process "
+        f"serial execution for {len(batches)} remaining batch(es)",
+        RuntimeWarning, stacklevel=3)
+    telemetry.count("parallel.fallback_serial")
+    return _serial_batches(_fallback_engine(spec), task, options, batches)
+
+
+def _pool_map(spec: EngineSpec, task: str, options: "dict[str, Any]",
+              batches: "Sequence[ReadBatch]",
+              config: ParallelConfig, workers: int) \
+        -> "Iterator[BatchResult]":
+    """The fault-tolerant pool path behind :func:`map_batches`."""
+    policy = config.resolved_policy()
+    manager = _PoolManager(workers, spec, task, options,
+                           telemetry.enabled())
+    try:
+        manager.spawn()
+    except PoolUnavailableError as exc:
+        yield from _degrade_to_serial(spec, task, options, batches, exc)
+        return
+    max_inflight = config.resolved_inflight(workers)
+    pending: "deque[_PendingBatch]" = deque()
+    next_index = 0
+    try:
+        while next_index < len(batches) or pending:
+            while next_index < len(batches) and len(pending) < max_inflight:
+                batch = batches[next_index]
+                pending.append(_PendingBatch(next_index, batch,
+                                             manager.submit(batch)))
+                next_index += 1
+            head = pending[0]
+            try:
+                result = head.future.result(timeout=policy.batch_timeout)
+            except (FuturesTimeoutError, BrokenExecutor,
+                    PicklingError) as exc:
+                failure = _classify_failure(exc, head.index)
+            except ParallelExecutionError:
+                raise
+            except Exception as exc:
+                raise _classify_failure(exc, head.index) from exc
+            else:
+                pending.popleft()
+                yield result
+                continue
+            # -- recovery: failure surfaced at the merge point ---------
+            head.failures += 1
+            if isinstance(failure, BatchTimeoutError):
+                telemetry.count("parallel.batch_timeouts")
+            elif isinstance(failure, WorkerCrashError):
+                telemetry.count("parallel.worker_crashes")
+            if not failure.retryable or head.failures >= policy.max_attempts:
+                raise failure
+            with telemetry.span("parallel.recovery"):
+                telemetry.count("parallel.retries")
+                telemetry.count("parallel.pool_respawns")
+                time.sleep(policy.delay(head.failures))
+                try:
+                    manager.respawn()
+                except PoolUnavailableError as exc:
+                    remaining = [entry.batch for entry in pending] \
+                        + list(batches[next_index:])
+                    yield from _degrade_to_serial(spec, task, options,
+                                                  remaining, exc)
+                    return
+                for entry in pending:
+                    entry.future = manager.submit(entry.batch)
+    finally:
+        manager.kill()
 
 
 # ----------------------------------------------------------------------
@@ -241,39 +542,35 @@ def map_batches(spec: EngineSpec, task: str, options: "dict[str, Any]",
     submission order with at most ``max_inflight`` outstanding.
 
     With one worker (or a ``local`` spec) everything runs in-process over
-    the same batch units -- the serial fast path.
+    the same batch units -- the serial fast path.  Pool failures are
+    classified, retried and degraded per the module docstring; when a
+    typed error escapes this generator, every consumed prefix result was
+    already byte-exact and no partial batch has been yielded.
     """
     workers = config.resolved_workers()
     if workers <= 1 or spec[0] == "local":
-        engine = _make_engine(spec)
-        runner = _RUNNERS[task](engine, options)
-        for batch in batches:
-            engine.reset_stats()
-            yield runner(batch), engine.stats.as_dict(), None
+        yield from _serial_batches(_make_engine(spec), task, options,
+                                   batches)
         return
-    telemetry_on = telemetry.enabled()
-    with ProcessPoolExecutor(
-            max_workers=workers, initializer=_worker_init,
-            initargs=(spec, task, options, telemetry_on)) as pool:
-        pending: "deque[Future[BatchResult]]" = deque()
-        for batch in batches:
-            pending.append(pool.submit(_run_batch, batch))
-            if len(pending) >= config.resolved_inflight(workers):
-                yield pending.popleft().result()
-        while pending:
-            yield pending.popleft().result()
+    yield from _pool_map(spec, task, options, list(batches), config,
+                         workers)
 
 
 def _aggregate(results: "Iterable[BatchResult]") \
         -> "tuple[list[Any], EngineStats]":
-    """Collect payloads in order; fold stats and worker telemetry."""
+    """Collect payloads in order; fold stats and worker telemetry.
+
+    Worker snapshots merge keyed by submission order, so gauges resolve
+    to the highest batch index deterministically -- the same value a
+    serial run would leave behind -- at any worker count.
+    """
     payloads: "list[Any]" = []
     stats = EngineStats()
-    for payload, stat_delta, snap in results:
+    for order, (payload, stat_delta, snap) in enumerate(results):
         payloads.append(payload)
         stats.add_dict(stat_delta)
         if snap is not None:
-            telemetry.merge_snapshot(snap)
+            telemetry.merge_snapshot(snap, order=order)
     return payloads, stats
 
 

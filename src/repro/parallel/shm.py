@@ -12,16 +12,43 @@ the paper's 64 seeding lanes hitting one ERT, §IV).
 Lifecycle contract (enforced mechanically by checker rule ERT008): only
 this package constructs ``SharedMemory`` objects.  The parent owns the
 segment -- it creates, closes and unlinks it; workers attach and merely
-close their mapping when the process exits.
+close their mapping when the process exits.  Because a segment outliving
+the run is a system-wide leak (it survives the interpreter), every parent
+path is hardened: construction failures unlink eagerly, context-manager
+exit unlinks even when close fails, and an ``atexit`` guard sweeps any
+segment still registered when the interpreter shuts down -- e.g. when an
+unhandled worker-crash error unwinds past the owner.
 """
 
 from __future__ import annotations
 
+import atexit
 import multiprocessing
 from multiprocessing import resource_tracker, shared_memory
 
 from repro.core.index import ErtIndex
 from repro.core.io import index_from_buffer, index_to_buffer
+
+#: Segments created by this process that are not yet unlinked, by name.
+#: The atexit sweep below is a *guard*, not the cleanup path: normal
+#: runs unlink through ``SharedIndexBuffer.__exit__`` and leave this
+#: empty.
+_LIVE_SEGMENTS: "dict[str, SharedIndexBuffer]" = {}
+
+
+def _sweep_live_segments() -> None:
+    """Last-chance unlink of any segment whose owner never ran: without
+    it, a run killed between creation and cleanup leaves the payload in
+    ``/dev/shm`` until reboot."""
+    for owner in list(_LIVE_SEGMENTS.values()):
+        try:
+            owner.close()
+            owner.unlink()
+        except OSError:
+            pass  # already gone (e.g. swept by the resource tracker)
+
+
+atexit.register(_sweep_live_segments)
 
 
 class SharedIndexBuffer:
@@ -35,11 +62,20 @@ class SharedIndexBuffer:
         payload = index_to_buffer(index)
         self._shm: "shared_memory.SharedMemory | None" = \
             shared_memory.SharedMemory(create=True, size=len(payload))
-        self._shm.buf[:len(payload)] = payload
+        try:
+            self._shm.buf[:len(payload)] = payload
+        except Exception:
+            # The segment exists but holds no usable payload; remove it
+            # now or nothing ever will.
+            self._shm.close()
+            self._shm.unlink()
+            self._shm = None
+            raise
         #: Segment name workers pass to :func:`attach_index`.
         self.name: str = self._shm.name
         #: Logical payload size (the kernel may round the segment up).
         self.size: int = len(payload)
+        _LIVE_SEGMENTS[self.name] = self
 
     def close(self) -> None:
         """Drop the parent's mapping (the segment itself survives)."""
@@ -50,15 +86,18 @@ class SharedIndexBuffer:
         """Remove the segment from the system; call once, after every
         worker is done."""
         if self._shm is not None:
-            self._shm.unlink()
-            self._shm = None
+            _LIVE_SEGMENTS.pop(self.name, None)
+            shm, self._shm = self._shm, None
+            shm.unlink()
 
     def __enter__(self) -> "SharedIndexBuffer":
         return self
 
     def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
-        self.close()
-        self.unlink()
+        try:
+            self.close()
+        finally:
+            self.unlink()
 
 
 def attach_index(name: str, size: int) -> ErtIndex:
@@ -66,22 +105,30 @@ def attach_index(name: str, size: int) -> ErtIndex:
     index over it without copying the payload.
 
     The returned index pins the segment mapping (``_shm`` attribute), so
-    its array views stay valid for the index's lifetime.
+    its array views stay valid for the index's lifetime.  If
+    reconstruction fails, the mapping is closed before the error
+    propagates -- a worker that dies during initialization must not
+    hold the segment mapped for the rest of its (possibly pooled)
+    process lifetime.
     """
     shm = shared_memory.SharedMemory(name=name)
-    # Attach-only mapping: the parent owns the segment's lifetime.
-    # Under the ``spawn`` start method each worker has its *own*
-    # resource tracker, which would treat the attach as a leak and
-    # unlink the parent's segment at worker exit (bpo-39959) -- so
-    # deregister the mapping there.  Under ``fork`` (the Linux default)
-    # parent and workers share one tracker and the attach re-register
-    # is an idempotent set-add; unregistering here would instead erase
-    # the parent's own registration.
-    if multiprocessing.get_start_method(allow_none=False) != "fork":
-        try:
-            resource_tracker.unregister(shm._name, "shared_memory")
-        except (AttributeError, KeyError):
-            pass
-    index = index_from_buffer(shm.buf[:size])
+    try:
+        # Attach-only mapping: the parent owns the segment's lifetime.
+        # Under the ``spawn`` start method each worker has its *own*
+        # resource tracker, which would treat the attach as a leak and
+        # unlink the parent's segment at worker exit (bpo-39959) -- so
+        # deregister the mapping there.  Under ``fork`` (the Linux
+        # default) parent and workers share one tracker and the attach
+        # re-register is an idempotent set-add; unregistering here would
+        # instead erase the parent's own registration.
+        if multiprocessing.get_start_method(allow_none=False) != "fork":
+            try:
+                resource_tracker.unregister(shm._name, "shared_memory")
+            except (AttributeError, KeyError):
+                pass
+        index = index_from_buffer(shm.buf[:size])
+    except Exception:
+        shm.close()
+        raise
     index._shm = shm  # type: ignore[attr-defined]
     return index

@@ -191,10 +191,21 @@ def _flush_engine_stats(engine: SeedingEngine,
 
 def seed_read(engine: SeedingEngine, read: np.ndarray,
               params: "SeedingParams | None" = None) -> SeedingResult:
-    """Run all three seeding rounds for one read."""
+    """Run all three seeding rounds for one read.
+
+    Reads shorter than ``max(min_seed_len, engine.min_query_len)`` yield
+    an empty result without touching the engine: no seed of the required
+    length fits in them, and engine primitives (the ERT walk in
+    particular) reject segments shorter than ``k``.
+    """
     params = params or SeedingParams()
-    engine.begin_read()
     result = SeedingResult()
+    if int(read.size) < max(params.min_seed_len, engine.min_query_len):
+        if telemetry.enabled():
+            telemetry.count("seeding.reads")
+            telemetry.count("seeding.short_reads_skipped")
+        return result
+    engine.begin_read()
     if not telemetry.enabled():
         smems = generate_smems(engine, read, params)
         result.smems = smems_to_seeds(engine, read, smems, params)

@@ -91,6 +91,13 @@ class SeedingEngine(abc.ABC):
     #: Human-readable configuration name (used in benchmark tables).
     name: str = "engine"
 
+    #: Shortest query the engine's primitives accept.  ERT engines cannot
+    #: walk segments shorter than ``k``; :func:`~repro.seeding.algorithm.
+    #: seed_read` skips reads below ``max(min_seed_len, min_query_len)``
+    #: (no seed of the required length fits anyway) instead of letting a
+    #: short read reach a primitive that would raise.
+    min_query_len: int = 1
+
     def __init__(self) -> None:
         self.stats = EngineStats()
 

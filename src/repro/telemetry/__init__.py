@@ -122,6 +122,15 @@ def reset() -> None:
     _tracer.reset()
 
 
+def fork_reset() -> None:
+    """Reset for a freshly forked worker process: drop every inherited
+    metric and abandon any span the parent had open at fork time (the
+    parent closes those spans in its own process; in the child they
+    could never close, and :func:`reset` would refuse to run)."""
+    _registry.reset()
+    _tracer.abandon()
+
+
 # ----------------------------------------------------------------------
 # Recording helpers -- each is a no-op after one flag check when disabled.
 # ----------------------------------------------------------------------
@@ -172,13 +181,16 @@ def snapshot() -> dict:
     return data
 
 
-def merge_snapshot(data: dict) -> None:
+def merge_snapshot(data: dict, order: "int | None" = None) -> None:
     """Fold a snapshot produced elsewhere -- typically by a
     :mod:`repro.parallel` worker process -- into the live registry and
-    tracer: counters and histograms add, gauges last-write-win, span
-    aggregates merge per path.  A no-op while telemetry is disabled, so
-    schedulers can call it unconditionally."""
+    tracer: counters and histograms add, span aggregates merge per path,
+    gauges resolve by ``order`` (the snapshot's batch submission index;
+    highest order wins, so merged gauges are deterministic under
+    out-of-order worker completion) or last-write-wins when ``order`` is
+    omitted.  A no-op while telemetry is disabled, so schedulers can
+    call it unconditionally."""
     if not _enabled:
         return
-    _registry.merge_snapshot(data)
+    _registry.merge_snapshot(data, order=order)
     _tracer.merge_snapshot(data.get("spans", {}))

@@ -128,6 +128,9 @@ class MetricsRegistry:
         self.counters: "dict[str, Counter]" = {}
         self.gauges: "dict[str, Gauge]" = {}
         self.histograms: "dict[str, Histogram]" = {}
+        # Highest merge order seen per gauge (see merge_snapshot): keyed
+        # separately so live gauge.set() calls stay order-free.
+        self._gauge_orders: "dict[str, int]" = {}
 
     # -- accessors -----------------------------------------------------
 
@@ -160,17 +163,30 @@ class MetricsRegistry:
         self.counters.clear()
         self.gauges.clear()
         self.histograms.clear()
+        self._gauge_orders.clear()
 
-    def merge_snapshot(self, data: dict) -> None:
+    def merge_snapshot(self, data: dict, order: "int | None" = None) -> None:
         """Fold a :meth:`snapshot` -- typically produced in another
         process by a :mod:`repro.parallel` worker -- into the live
-        metrics: counters add, gauges take the snapshot's value
-        (last-write-wins, matching their semantics), histograms merge
-        bucket-wise."""
+        metrics: counters add, histograms merge bucket-wise, gauges
+        resolve by ``order``.
+
+        ``order`` is the snapshot's submission index (the batch number in
+        a parallel run): for each gauge the snapshot with the *highest*
+        order wins, regardless of merge call sequence, so the merged
+        value is the one a serial run would have left behind -- stable at
+        any worker count.  Without ``order`` gauges fall back to
+        last-write-wins (and take precedence over any ordered value seen
+        so far, matching plain gauge semantics)."""
         for name, value in data.get("counters", {}).items():
             self.counter(name).inc(value)
         for name, value in data.get("gauges", {}).items():
-            self.gauge(name).set(value)
+            if order is None:
+                self._gauge_orders.pop(name, None)
+                self.gauge(name).set(value)
+            elif order >= self._gauge_orders.get(name, -1):
+                self._gauge_orders[name] = order
+                self.gauge(name).set(value)
         for name, hist in data.get("histograms", {}).items():
             self.histogram(name, tuple(hist["edges"])).merge(hist)
 

@@ -123,6 +123,18 @@ class Tracer:
                 f"({self._stack[-1].path!r})")
         self.stats.clear()
 
+    def abandon(self) -> None:
+        """Drop all aggregates *and* any open spans without closing them.
+
+        For freshly forked worker processes only: a child forked while
+        the parent sat inside an open span inherits that span on the
+        stack, and the parent -- not the child -- will close it.
+        :meth:`reset`'s open-span guard is correct in-process but would
+        make every such worker die in its initializer.
+        """
+        self._stack.clear()
+        self.stats.clear()
+
     def merge_snapshot(self, data: dict) -> None:
         """Fold a :meth:`snapshot` from another tracer (typically a
         :mod:`repro.parallel` worker process) into the live aggregates,

@@ -1,0 +1,14 @@
+"""ERT009 failing fixture: a broad except around pool interaction that
+swallows the failure instead of routing it through the typed errors."""
+# repro: module(repro.parallel.fake)
+
+
+def drain(pool, batches, run):
+    results = []
+    for batch in batches:
+        try:
+            future = pool.submit(run, batch)
+            results.append(future.result())
+        except Exception:
+            results.append(None)
+    return results

@@ -1,0 +1,25 @@
+"""ERT009 passing fixture: broad handlers around pool interaction
+re-raise through the typed-error taxonomy (narrow handlers are free)."""
+# repro: module(repro.parallel.fake)
+
+from repro.parallel.faults import BatchTaskError, WorkerCrashError
+
+
+def drain(pool, batches, run):
+    results = []
+    for batch in batches:
+        try:
+            future = pool.submit(run, batch)
+            results.append(future.result())
+        except OSError:
+            results.append(None)
+        except Exception as exc:
+            raise BatchTaskError(f"batch failed: {exc!r}") from exc
+    return results
+
+
+def submit_one(pool, run, batch):
+    try:
+        return pool.submit(run, batch)
+    except BaseException as exc:
+        raise WorkerCrashError(str(exc)) from exc

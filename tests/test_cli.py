@@ -123,6 +123,100 @@ def test_compare(workspace, capsys):
     assert "data-efficiency gain" in out
 
 
+def test_workers_flag_rejects_zero_and_negative(workspace, capsys):
+    _root, _ref, reads, index = workspace
+    for bad in ("0", "-2", "abc"):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["seed", "--index", str(index), "--reads", str(reads),
+                 "--out", "-", "--workers", bad])
+        assert "--workers" in capsys.readouterr().err
+
+
+def test_batch_size_flag_rejects_nonpositive(workspace, capsys):
+    _root, _ref, reads, index = workspace
+    for bad in ("0", "-64", "x"):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["seed", "--index", str(index), "--reads", str(reads),
+                 "--out", "-", "--batch-size", bad])
+        assert "--batch-size" in capsys.readouterr().err
+
+
+def test_retry_flags_validate(workspace, capsys):
+    _root, _ref, reads, index = workspace
+    args = build_parser().parse_args(
+        ["seed", "--index", str(index), "--reads", str(reads),
+         "--out", "-", "--retries", "0", "--batch-timeout", "1.5"])
+    assert args.retries == 0
+    assert args.batch_timeout == 1.5
+    for flag, bad in (("--retries", "-1"), ("--retries", "two"),
+                      ("--batch-timeout", "0"), ("--batch-timeout", "-3")):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["seed", "--index", str(index), "--reads", str(reads),
+                 "--out", "-", flag, bad])
+        assert flag in capsys.readouterr().err
+
+
+def test_repro_workers_garbage_values(workspace, monkeypatch, capsys):
+    """Garbage in $REPRO_WORKERS must not break a run: "abc" warns and
+    runs serial; "-3" clamps to 1 worker."""
+    _root, _ref, reads, index = workspace
+    monkeypatch.setenv("REPRO_WORKERS", "abc")
+    with pytest.warns(RuntimeWarning, match="REPRO_WORKERS"):
+        assert main(["seed", "--index", str(index), "--reads", str(reads),
+                     "--min-seed-len", "12", "--out", "-"]) == 0
+    assert capsys.readouterr().out.startswith("read\t")
+    monkeypatch.setenv("REPRO_WORKERS", "-3")
+    assert main(["seed", "--index", str(index), "--reads", str(reads),
+                 "--min-seed-len", "12", "--out", "-"]) == 0
+    assert capsys.readouterr().out.startswith("read\t")
+
+
+def test_index_cache_detects_same_size_rewrite(tmp_path, monkeypatch):
+    """The PR-3 cache key was (abspath, mtime_ns, size): a same-size
+    in-place rewrite within one mtime tick served the stale index.  The
+    content fingerprint in the key must detect the rewrite even with
+    identical size, inode and mtime."""
+    import os
+
+    import repro.cli as cli_mod
+
+    target = tmp_path / "index.npz"
+    page = cli_mod._FINGERPRINT_PAGE
+    target.write_bytes(b"A" * (3 * page))
+    stat = os.stat(target)
+
+    loads = []
+    monkeypatch.setattr(cli_mod, "load_ert",
+                        lambda path: loads.append(str(path)) or object())
+    cli_mod._INDEX_CACHE.clear()
+    first = cli_mod.load_index_cached(str(target))
+    assert len(loads) == 1
+    # Cache hit while the file is untouched.
+    assert cli_mod.load_index_cached(str(target)) is first
+    assert len(loads) == 1
+
+    def rewrite_in_place(data):
+        # Same size, same inode (no truncate-and-replace), and the
+        # original mtime pinned back -- only the bytes differ.
+        with open(target, "r+b") as fh:
+            fh.write(data)
+        os.utime(target, ns=(stat.st_atime_ns, stat.st_mtime_ns))
+
+    # A change in the first page misses the cache...
+    rewrite_in_place(b"B" * page + b"A" * (2 * page))
+    second = cli_mod.load_index_cached(str(target))
+    assert len(loads) == 2, "stale index served after first-page rewrite"
+    assert second is not first
+    # ... and so does a change confined to the last page.
+    rewrite_in_place(b"B" * (2 * page) + b"C" * page)
+    third = cli_mod.load_index_cached(str(target))
+    assert len(loads) == 3, "stale index served after last-page rewrite"
+    assert third is not second
+
+
 def test_seed_output_matches_library(workspace):
     """The CLI must produce exactly what the library produces."""
     from repro.core import ErtSeedingEngine, load_ert

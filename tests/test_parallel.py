@@ -136,6 +136,63 @@ def test_pool_telemetry_matches_serial_counters(ert_index, read_set,
 
 
 # ----------------------------------------------------------------------
+# Short reads: below max(min_seed_len, k) nothing can seed -- the result
+# is empty, never an exception, in every mode and pipeline.
+# ----------------------------------------------------------------------
+
+
+def _short_reads(k):
+    """0-, 1-, and (k-1)-length reads (the ERT walk needs >= k)."""
+    return [np.zeros(0, dtype=np.uint8),
+            np.array([1], dtype=np.uint8),
+            np.arange(k - 1, dtype=np.uint8) % 4]
+
+
+def test_seed_read_returns_empty_for_short_reads(ert, params):
+    for read in _short_reads(ert.index.config.k):
+        result = seed_read(ert, read, params)
+        assert result.all_seeds == []
+
+
+@pytest.mark.parametrize("workers", [1, 2])
+def test_seed_reads_skips_short_reads(ert_index, read_set, params, workers):
+    mixed = _short_reads(ert_index.config.k) + [r.codes
+                                                for r in read_set[:6]]
+    normal, _ = seed_reads(ert_index, [r.codes for r in read_set[:6]],
+                           params, ParallelConfig(workers=1))
+    lines, _ = seed_reads(ert_index, mixed, params,
+                          ParallelConfig(workers=workers, batch_size=2))
+    # Short reads contribute zero seeds; the rest is unaffected.
+    assert lines == normal
+
+
+@pytest.mark.parametrize("workers", [1, 2])
+def test_align_emits_unmapped_records_for_short_reads(ert_index, read_set,
+                                                      params, workers):
+    shorts = _short_reads(ert_index.config.k)
+    mixed = shorts + [r.codes for r in read_set[:6]]
+    records, _ = align_reads(ert_index, mixed, params,
+                             ParallelConfig(workers=workers, batch_size=2))
+    assert len(records) == len(mixed)
+    for record in records[:len(shorts)]:
+        assert record.flag & 0x4, "short read must align as unmapped"
+
+
+def test_short_read_skip_counter(ert, params):
+    telemetry.reset()
+    telemetry.enable()
+    try:
+        for read in _short_reads(ert.index.config.k):
+            seed_read(ert, read, params)
+        snap = telemetry.snapshot()
+    finally:
+        telemetry.disable()
+        telemetry.reset()
+    assert snap["counters"]["seeding.short_reads_skipped"] == 3
+    assert snap["counters"]["seeding.reads"] == 3
+
+
+# ----------------------------------------------------------------------
 # Shared-memory index transport
 # ----------------------------------------------------------------------
 
@@ -229,7 +286,8 @@ def test_default_workers_reads_environment(monkeypatch):
     assert ParallelConfig().resolved_workers() == 4
     assert ParallelConfig(workers=2).resolved_workers() == 2
     monkeypatch.setenv("REPRO_WORKERS", "not-a-number")
-    assert default_workers() == 1
+    with pytest.warns(RuntimeWarning, match="REPRO_WORKERS"):
+        assert default_workers() == 1
 
 
 def test_parallel_config_inflight_default():
@@ -272,6 +330,34 @@ def test_telemetry_merge_snapshot_folds_counters_and_spans():
     assert snap["counters"]["merge.other"] == 1
     assert snap["gauges"]["merge.gauge"] == 9.0
     assert snap["spans"]["phase"]["count"] == 4
+
+
+def test_merge_snapshot_gauges_resolve_by_batch_order():
+    """Out-of-order worker completion must not decide gauge values:
+    whatever snapshot carries the highest submission order wins, no
+    matter the merge call sequence (so --metrics-out is stable at any
+    worker count)."""
+    def gauge_snap(value):
+        return {"counters": {}, "gauges": {"merge.gauge": value},
+                "histograms": {}, "spans": {}}
+
+    telemetry.reset()
+    telemetry.enable()
+    try:
+        # Batch 2's snapshot arrives first, then batch 0's: the batch-2
+        # value must survive.
+        telemetry.merge_snapshot(gauge_snap(22.0), order=2)
+        telemetry.merge_snapshot(gauge_snap(10.0), order=0)
+        assert telemetry.snapshot()["gauges"]["merge.gauge"] == 22.0
+        # A higher order replaces it.
+        telemetry.merge_snapshot(gauge_snap(33.0), order=3)
+        assert telemetry.snapshot()["gauges"]["merge.gauge"] == 33.0
+        # Orderless merges keep last-write-wins semantics.
+        telemetry.merge_snapshot(gauge_snap(1.0))
+        assert telemetry.snapshot()["gauges"]["merge.gauge"] == 1.0
+    finally:
+        telemetry.disable()
+        telemetry.reset()
 
 
 def test_merge_snapshot_is_noop_while_disabled():
