@@ -12,8 +12,13 @@ Trials are interleaved and the minimum per mode is compared, which
 cancels warm-up and scheduler noise; on this workload the two loops are
 within measurement jitter of each other.
 
-For reference (not asserted) the enabled-mode time is measured too, and
-all three numbers land in ``benchmarks/results/telemetry_overhead.txt``.
+Two more modes are measured: metrics enabled (reference, not asserted)
+and metrics enabled *with timeline recording* (the ``--trace-out``
+path, where every span also lands a begin/end event pair in the ring
+buffer).  Recording must stay under a 15 % slowdown against the
+no-telemetry baseline -- in practice the ring append is a tuple build
+plus a list store and the marginal cost sits inside measurement jitter.
+All four numbers land in ``benchmarks/results/telemetry_overhead.txt``.
 """
 
 import time
@@ -33,6 +38,7 @@ from repro.seeding.algorithm import (
 from repro.seeding import seed_read
 
 MAX_OVERHEAD = 0.03
+MAX_RECORDING_OVERHEAD = 0.15
 N_TRIALS = 7
 
 
@@ -74,14 +80,23 @@ def test_disabled_telemetry_overhead(ert_index, reads, params):
         "disabled-mode seeding leaked metrics into the registry"
 
     telemetry.enable()
-    enabled = float("inf")
+    enabled = recording = float("inf")
     for _ in range(N_TRIALS):
         enabled = min(enabled, _time_batch(seed_read, engine, workload,
                                            params))
+        telemetry.start_recording()
+        recording = min(recording, _time_batch(seed_read, engine,
+                                               workload, params))
+        telemetry.stop_recording()
+    assert len(telemetry.recorder()) > 0, \
+        "recording mode produced no timeline events"
+    telemetry.stop_recording()
+    telemetry.recorder().clear()
     telemetry.disable()
     telemetry.reset()
 
     overhead = instrumented / baseline - 1.0
+    recording_overhead = recording / baseline - 1.0
     n = len(workload)
     table = format_table(
         ["mode", "best s / 200 reads", "reads/s", "vs baseline"],
@@ -89,7 +104,9 @@ def test_disabled_telemetry_overhead(ert_index, reads, params):
          ["instrumented, disabled", instrumented, n / instrumented,
           f"{instrumented / baseline:.3f}x"],
          ["instrumented, enabled", enabled, n / enabled,
-          f"{enabled / baseline:.3f}x"]],
+          f"{enabled / baseline:.3f}x"],
+         ["enabled + timeline recording", recording, n / recording,
+          f"{recording / baseline:.3f}x"]],
         title=f"telemetry overhead on ERT seeding "
               f"(best of {N_TRIALS} interleaved trials)")
     record_result("telemetry_overhead", table)
@@ -97,3 +114,7 @@ def test_disabled_telemetry_overhead(ert_index, reads, params):
         f"disabled telemetry costs {overhead * 100:.1f}% "
         f"(limit {MAX_OVERHEAD * 100:.0f}%): {instrumented:.4f}s vs "
         f"baseline {baseline:.4f}s")
+    assert recording_overhead < MAX_RECORDING_OVERHEAD, (
+        f"timeline recording costs {recording_overhead * 100:.1f}% "
+        f"(limit {MAX_RECORDING_OVERHEAD * 100:.0f}%): {recording:.4f}s "
+        f"vs baseline {baseline:.4f}s")

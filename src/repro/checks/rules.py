@@ -236,7 +236,7 @@ _PACKAGES = (
     "repro.sequence", "repro.telemetry", "repro.memsim", "repro.seeding",
     "repro.core", "repro.fmindex", "repro.extend", "repro.parallel",
     "repro.accel", "repro.analysis", "repro.baselines", "repro.checks",
-    "repro.cli",
+    "repro.ledger", "repro.cli",
 )
 
 
@@ -250,9 +250,10 @@ def _everything_but(*allowed: str) -> "tuple[str, ...]":
 #: the algorithmic middle and may flush metrics (repro.telemetry) but
 #: never touch the exporters; parallel orchestrates the middle layers
 #: (it is the sole owner of worker pools / shared memory, rule ERT008);
-#: accel consumes traces from core/seeding; analysis/baselines/cli sit
-#: on top; checks stands alone so it can lint a tree too broken to
-#: import.
+#: accel consumes traces from core/seeding; analysis/baselines/ledger/
+#: cli sit on top (ledger reads telemetry snapshots but nothing below
+#: it may import it); checks stands alone so it can lint a tree too
+#: broken to import.
 _LAYERING: "dict[str, tuple[str, ...]]" = {
     "repro.sequence": _everything_but("repro.sequence"),
     "repro.telemetry": _everything_but("repro.telemetry"),
@@ -262,23 +263,26 @@ _LAYERING: "dict[str, tuple[str, ...]]" = {
         + ("repro.telemetry.export",),
     "repro.core": ("repro.accel", "repro.analysis", "repro.baselines",
                    "repro.checks", "repro.cli", "repro.extend",
-                   "repro.parallel", "repro.telemetry.export"),
+                   "repro.ledger", "repro.parallel",
+                   "repro.telemetry.export"),
     "repro.fmindex": ("repro.accel", "repro.analysis", "repro.baselines",
                       "repro.checks", "repro.cli", "repro.core",
-                      "repro.extend", "repro.parallel",
+                      "repro.extend", "repro.ledger", "repro.parallel",
                       "repro.telemetry.export"),
     "repro.extend": ("repro.accel", "repro.analysis", "repro.baselines",
-                     "repro.checks", "repro.cli", "repro.parallel",
-                     "repro.telemetry.export"),
+                     "repro.checks", "repro.cli", "repro.ledger",
+                     "repro.parallel", "repro.telemetry.export"),
     "repro.parallel": ("repro.accel", "repro.analysis", "repro.baselines",
-                       "repro.checks", "repro.cli",
+                       "repro.checks", "repro.cli", "repro.ledger",
                        "repro.telemetry.export"),
     "repro.accel": ("repro.analysis", "repro.baselines", "repro.checks",
-                    "repro.cli", "repro.extend", "repro.parallel"),
+                    "repro.cli", "repro.extend", "repro.ledger",
+                    "repro.parallel"),
     "repro.baselines": ("repro.accel", "repro.analysis", "repro.checks",
-                        "repro.cli", "repro.parallel"),
-    "repro.analysis": ("repro.checks", "repro.cli"),
+                        "repro.cli", "repro.ledger", "repro.parallel"),
+    "repro.analysis": ("repro.checks", "repro.cli", "repro.ledger"),
     "repro.checks": _everything_but("repro.checks"),
+    "repro.ledger": _everything_but("repro.ledger", "repro.telemetry"),
 }
 
 
@@ -575,7 +579,70 @@ class SwallowedPoolFailureRule(Rule):
                    for t in types)
 
 
+# ----------------------------------------------------------------------
+# ERT010 -- ad-hoc console output in library code
+# ----------------------------------------------------------------------
+
+#: Qualified attribute calls that write straight to the process streams.
+_STREAM_WRITES = frozenset({
+    "sys.stdout.write", "sys.stderr.write",
+})
+
+#: Modules allowed to talk to the console: the CLI entry points (their
+#: whole job is console I/O) and the progress reporter (the one
+#: sanctioned stderr heartbeat, see repro/telemetry/progress.py).
+_CONSOLE_MODULES = (
+    "repro.cli", "repro.checks.cli", "repro.ledger.cli",
+    "repro.telemetry.progress",
+)
+
+
+@register
+class DirectOutputRule(Rule):
+    """ERT010: library code never prints.
+
+    A ``print()`` or ``sys.stderr.write()`` buried in the seeding or
+    scheduler stack corrupts machine-consumed stdout (the ``seed`` TSV
+    stream), interleaves unreadably under the worker pool, and bypasses
+    both the rate-limited progress reporter and the telemetry event
+    stream -- the two sanctioned ways to surface run state.  Status
+    belongs in telemetry events/metrics; user-facing text belongs in the
+    CLI modules; live heartbeats belong in
+    :class:`repro.telemetry.progress.ProgressReporter`.
+    """
+
+    id = "ERT010"
+    title = "direct console output outside the CLI / progress reporter"
+    rationale = ("library prints corrupt machine-readable stdout and "
+                 "bypass the progress reporter and telemetry; console "
+                 "I/O lives in the CLI modules only")
+    scope = ("repro",)
+    exclude_scope = _CONSOLE_MODULES
+
+    def check(self, src: SourceFile) -> "Iterator[Violation]":
+        for node in src.walk():
+            if not isinstance(node, ast.Call):
+                continue
+            if (isinstance(node.func, ast.Name)
+                    and node.func.id == "print"
+                    and src.imports.get("print", "print") == "print"):
+                yield src.violation(
+                    self.id, node,
+                    "print() in library code; emit telemetry events/"
+                    "metrics, or surface status through the CLI or the "
+                    "progress reporter (docs/observability.md)")
+                continue
+            qual = src.qualified_name(node.func)
+            if qual in _STREAM_WRITES:
+                yield src.violation(
+                    self.id, node,
+                    f"{qual}() in library code; console streams belong "
+                    f"to the CLI modules and the progress reporter "
+                    f"(docs/observability.md)")
+
+
 __all__ = [
+    "DirectOutputRule",
     "FootgunRule",
     "HotLoopTelemetryRule",
     "IdAsKeyRule",

@@ -10,11 +10,17 @@ align many times):
 * ``align``        -- full pipeline to SAM;
 * ``report``       -- render a saved telemetry snapshot as a profile;
 * ``check``        -- run the repository's static-analysis rules
-  (:mod:`repro.checks`, see docs/static_analysis.md).
+  (:mod:`repro.checks`, see docs/static_analysis.md);
+* ``ledger``       -- record benchmark runs and gate on throughput
+  regressions (:mod:`repro.ledger`, see docs/observability.md).
 
-``seed``, ``align`` and ``align-pe`` take ``--profile`` (print a
-per-stage wall-clock/counter report) and ``--metrics-out FILE`` (write
-the full telemetry snapshot as JSON, consumable by ``report``).
+``seed``, ``align``, ``align-pe`` and ``compare`` take ``--profile``
+(print a per-stage wall-clock/counter report), ``--metrics-out FILE``
+(write the full telemetry snapshot as JSON, consumable by ``report``)
+and ``--trace-out FILE`` (record a timeline and write Chrome/Perfetto
+``trace_event`` JSON -- open it at https://ui.perfetto.dev).  The
+read-driven commands also take ``--progress`` (a rate-limited stderr
+heartbeat: reads/s, batches in flight, crashes survived, ETA).
 
 ``seed``, ``align``, ``align-pe`` and ``compare`` take ``--workers N``
 and ``--batch-size M``: reads stream through the :mod:`repro.parallel`
@@ -39,6 +45,7 @@ import zlib
 
 from repro import telemetry
 from repro.checks import cli as checks_cli
+from repro.ledger import cli as ledger_cli
 from repro.core import (
     ErtConfig,
     ErtSeedingEngine,
@@ -107,6 +114,7 @@ def build_parser() -> argparse.ArgumentParser:
     seed.add_argument("--max-hits", type=int, default=500)
     seed.add_argument("--out", default="-")
     _add_telemetry_args(seed)
+    _add_progress_arg(seed)
     _add_parallel_args(seed)
 
     align = sub.add_parser("align", help="align reads to SAM")
@@ -115,6 +123,7 @@ def build_parser() -> argparse.ArgumentParser:
     align.add_argument("--min-seed-len", type=int, default=19)
     align.add_argument("--out", required=True)
     _add_telemetry_args(align)
+    _add_progress_arg(align)
     _add_parallel_args(align)
 
     align_pe = sub.add_parser(
@@ -127,6 +136,7 @@ def build_parser() -> argparse.ArgumentParser:
     align_pe.add_argument("--insert-sd", type=int, default=50)
     align_pe.add_argument("--out", required=True)
     _add_telemetry_args(align_pe)
+    _add_progress_arg(align_pe)
     _add_parallel_args(align_pe)
 
     report = sub.add_parser(
@@ -142,12 +152,18 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--reads", required=True)
     compare.add_argument("--k", type=int, default=8)
     compare.add_argument("--min-seed-len", type=int, default=19)
+    _add_telemetry_args(compare)
     _add_parallel_args(compare)
 
     check = sub.add_parser(
         "check", help="run the repo's static-analysis rules "
                       "(non-zero exit on violations)")
     checks_cli.configure_parser(check)
+
+    ledger = sub.add_parser(
+        "ledger", help="record benchmark runs and gate on throughput "
+                       "regressions (non-zero exit on a regression)")
+    ledger_cli.configure_parser(ledger)
     return parser
 
 
@@ -158,6 +174,18 @@ def _add_telemetry_args(parser) -> None:
     parser.add_argument(
         "--metrics-out", default=None, metavar="FILE",
         help="collect telemetry and write the snapshot as JSON")
+    parser.add_argument(
+        "--trace-out", default=None, metavar="FILE",
+        help="record a timeline and write Chrome/Perfetto trace_event "
+             "JSON (open at https://ui.perfetto.dev); includes "
+             "per-worker tracks at --workers > 1")
+
+
+def _add_progress_arg(parser) -> None:
+    parser.add_argument(
+        "--progress", action="store_true",
+        help="print a rate-limited stderr heartbeat (reads/s, batches "
+             "in flight, worker crashes, ETA)")
 
 
 def _positive_int(label):
@@ -239,16 +267,25 @@ def _parallel_config(args) -> ParallelConfig:
 
 def _telemetry_begin(args) -> bool:
     """Enable telemetry for this command iff the user asked for output.
-    Returns whether a session is active (the default stays a true no-op)."""
+    Returns whether a metrics session is active (the default stays a
+    true no-op).  ``--trace-out`` additionally starts timeline
+    recording, which is independent of the metrics flag."""
     active = bool(args.profile or args.metrics_out)
     if active:
         telemetry.reset()
         telemetry.enable()
+    if args.trace_out:
+        telemetry.start_recording()
     return active
 
 
 def _telemetry_finish(args, active: bool, title: str,
                       profile_stream=None) -> None:
+    if args.trace_out:
+        telemetry.stop_recording()
+        telemetry.write_trace(args.trace_out, telemetry.current_trace())
+        print(f"wrote timeline trace to {args.trace_out} "
+              f"(open at https://ui.perfetto.dev)", file=sys.stderr)
     if not active:
         return
     telemetry.disable()
@@ -260,6 +297,14 @@ def _telemetry_finish(args, active: bool, title: str,
     if args.profile:
         print(telemetry.render_profile(snap, title=title),
               file=profile_stream or sys.stdout)
+
+
+def _make_reporter(args, total: int) -> "telemetry.ProgressReporter | None":
+    """A live heartbeat when ``--progress`` was given (forced on even
+    without a TTY -- asking for it means wanting the lines in a log)."""
+    if not getattr(args, "progress", False):
+        return None
+    return telemetry.ProgressReporter(total=total, force=True)
 
 
 def _cmd_simulate_genome(args) -> int:
@@ -365,8 +410,12 @@ def _cmd_seed(args) -> int:
     params = SeedingParams(min_seed_len=args.min_seed_len,
                            max_hits_per_seed=args.max_hits)
     active = _telemetry_begin(args)
+    reporter = _make_reporter(args, len(reads))
     lines, stats = seed_reads(index, reads, params,
-                              config=_parallel_config(args))
+                              config=_parallel_config(args),
+                              reporter=reporter)
+    if reporter is not None:
+        reporter.finish()
     out = _open_out(args.out)
     try:
         out.write("read\tstart\tlength\thit_count\thits\n")
@@ -393,9 +442,12 @@ def _cmd_align(args) -> int:
     reference = index.reference
     reads = read_fastq(args.reads)
     active = _telemetry_begin(args)
+    reporter = _make_reporter(args, len(reads))
     records, _stats = align_reads(
         index, reads, SeedingParams(min_seed_len=args.min_seed_len),
-        config=_parallel_config(args))
+        config=_parallel_config(args), reporter=reporter)
+    if reporter is not None:
+        reporter.finish()
     write_sam(args.out, reference, records)
     mapped = sum(1 for rec in records if not rec.flag & 0x4)
     print(f"aligned {len(reads)} reads ({mapped} mapped) -> {args.out}",
@@ -411,10 +463,13 @@ def _cmd_align_pe(args) -> int:
     if len(reads) % 2:
         raise SystemExit("interleaved FASTQ must hold an even read count")
     active = _telemetry_begin(args)
+    reporter = _make_reporter(args, len(reads))
     records, _stats = align_pairs(
         index, reads, SeedingParams(min_seed_len=args.min_seed_len),
         insert_mean=args.insert_mean, insert_sd=args.insert_sd,
-        config=_parallel_config(args))
+        config=_parallel_config(args), reporter=reporter)
+    if reporter is not None:
+        reporter.finish()
     write_sam(args.out, reference, records)
     proper = sum(1 for rec in records if rec.flag & 0x2) // 2
     print(f"aligned {len(reads) // 2} pairs ({proper} proper) -> "
@@ -437,6 +492,7 @@ def _cmd_compare(args) -> int:
     reference = read_fasta(args.reference)[0]
     reads = [r.codes for r in read_fastq(args.reads)]
     params = SeedingParams(min_seed_len=args.min_seed_len)
+    active = _telemetry_begin(args)
     rows = []
     profiles = {}
     for name, engine, size in _comparison_engines(reference, args.k):
@@ -454,6 +510,9 @@ def _cmd_compare(args) -> int:
              / profiles["ERT"].bytes_per_read)
     print(f"\nERT data-efficiency gain: {ratio:.1f}x "
           f"(paper: 4.5x at human scale)")
+    _telemetry_finish(args, active,
+                      title=f"compare profile ({args.reads})",
+                      profile_stream=sys.stderr)
     return 0
 
 
@@ -499,6 +558,7 @@ _COMMANDS = {
     "report": _cmd_report,
     "compare": _cmd_compare,
     "check": checks_cli.run,
+    "ledger": ledger_cli.run,
 }
 
 

@@ -1,0 +1,98 @@
+"""Run-over-run comparison and the regression gate.
+
+``diff_records`` compares the metric maps of two manifests; a metric
+whose name marks it as a throughput (higher-is-better) quantity and
+whose current value fell more than ``threshold`` below the previous one
+is a *regression*.  Non-throughput metrics are reported with their
+deltas but never gate -- wall-clock totals and counter values move for
+legitimate reasons (bigger workloads), and the ledger records workload
+parameters precisely so a human can tell those apart.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+#: Substrings identifying a higher-is-better metric name.
+THROUGHPUT_MARKERS = ("per_sec", "per_s", "throughput", "reads_s")
+
+#: Default regression threshold: flag a >10% throughput drop.
+DEFAULT_THRESHOLD = 0.10
+
+
+def is_throughput_metric(name: str) -> bool:
+    lowered = name.lower()
+    return any(marker in lowered for marker in THROUGHPUT_MARKERS)
+
+
+@dataclass(frozen=True)
+class MetricDelta:
+    """One metric compared across two runs."""
+
+    name: str
+    previous: float
+    current: float
+    #: Fractional change relative to the previous value (0.05 = +5%);
+    #: ``None`` when the previous value is zero.
+    change: "float | None"
+    #: Gate verdict: a throughput metric that dropped beyond threshold.
+    regression: bool
+
+    def describe(self) -> str:
+        pct = (f"{self.change * 100:+.1f}%" if self.change is not None
+               else "n/a")
+        flag = "  << REGRESSION" if self.regression else ""
+        return (f"{self.name}: {self.previous:,.6g} -> "
+                f"{self.current:,.6g} ({pct}){flag}")
+
+
+def diff_records(previous: "Mapping[str, Any]",
+                 current: "Mapping[str, Any]",
+                 threshold: float = DEFAULT_THRESHOLD) \
+        -> "list[MetricDelta]":
+    """Compare the metric maps of two ledger records (metrics present in
+    both, sorted by name).  Raises on schema mismatch -- diffing across
+    incompatible manifest shapes would produce silent nonsense."""
+    prev_schema = previous.get("schema")
+    curr_schema = current.get("schema")
+    if prev_schema != curr_schema:
+        raise ValueError(
+            f"cannot diff across ledger schema versions "
+            f"({prev_schema!r} vs {curr_schema!r})")
+    prev_metrics = previous.get("metrics", {}) or {}
+    curr_metrics = current.get("metrics", {}) or {}
+    deltas: "list[MetricDelta]" = []
+    for name in sorted(set(prev_metrics) & set(curr_metrics)):
+        prev_value = float(prev_metrics[name])
+        curr_value = float(curr_metrics[name])
+        change = ((curr_value - prev_value) / prev_value
+                  if prev_value else None)
+        regression = (is_throughput_metric(name)
+                      and prev_value > 0
+                      and curr_value < prev_value * (1.0 - threshold))
+        deltas.append(MetricDelta(name, prev_value, curr_value, change,
+                                  regression))
+    return deltas
+
+
+def render_diff(benchmark: str, previous: "Mapping[str, Any]",
+                current: "Mapping[str, Any]",
+                deltas: "list[MetricDelta]",
+                threshold: float = DEFAULT_THRESHOLD) -> str:
+    """Human-readable diff block for one benchmark."""
+    lines = [f"== {benchmark} =="]
+    lines.append(f"  previous: {previous.get('recorded_at', '?')} "
+                 f"[{previous.get('label', '')}]")
+    lines.append(f"  current : {current.get('recorded_at', '?')} "
+                 f"[{current.get('label', '')}]")
+    if not deltas:
+        lines.append("  (no common metrics)")
+        return "\n".join(lines)
+    for delta in deltas:
+        lines.append(f"  {delta.describe()}")
+    regressions = [d for d in deltas if d.regression]
+    if regressions:
+        lines.append(f"  {len(regressions)} throughput regression(s) "
+                     f"beyond {threshold * 100:.0f}%")
+    return "\n".join(lines)

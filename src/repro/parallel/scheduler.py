@@ -74,6 +74,7 @@ from repro.parallel.faults import (
 from repro.parallel.shm import SharedIndexBuffer, attach_index
 from repro.seeding.algorithm import SeedingParams, seed_read
 from repro.seeding.engine import EngineStats, SeedingEngine
+from repro.telemetry.progress import ProgressReporter
 
 #: One batch's wire result: payload, engine-stats delta, telemetry
 #: snapshot delta (None in serial mode, where telemetry records live).
@@ -250,7 +251,12 @@ def _make_engine(spec: EngineSpec) -> SeedingEngine:
         return spec[1]
     if kind == "shm":
         _, name, size, gather_limit = spec
-        index = attach_index(name, size)
+        recorder = telemetry.recorder()
+        recorder.begin("shm.attach", {"segment": name, "bytes": size})
+        try:
+            index = attach_index(name, size)
+        finally:
+            recorder.end("shm.attach")
         return ErtSeedingEngine(index, gather_limit=gather_limit)
     if kind == "pickle":
         return spec[1]
@@ -258,23 +264,30 @@ def _make_engine(spec: EngineSpec) -> SeedingEngine:
 
 
 def _worker_init(spec: EngineSpec, task: str, options: "dict[str, Any]",
-                 telemetry_on: bool) -> None:
+                 telemetry_on: bool,
+                 events_epoch: "int | None" = None) -> None:
     fault = options.get("fault")
     if fault is not None and fault.get("kind") == "init-raise":
         raise RuntimeError("injected pool-init fault")
-    engine = _make_engine(spec)
-    _WORKER["engine"] = engine
-    _WORKER["runner"] = _RUNNERS[task](engine, options)
-    _WORKER["telemetry"] = telemetry_on
-    _WORKER["fault"] = fault
     # fork_reset, not reset: under fork this process may have inherited
     # an open parent span (the recovery span during a respawn); a plain
-    # reset would refuse and kill the worker in its initializer.
+    # reset would refuse and kill the worker in its initializer.  It runs
+    # *before* engine construction so timeline capture (restarted on the
+    # parent's epoch just below) can see the shm attach.
     telemetry.fork_reset()
     if telemetry_on:
         telemetry.enable()
     else:
         telemetry.disable()
+    if events_epoch is not None:
+        telemetry.start_recording(events_epoch)
+    with telemetry.recorder().scope("worker.init"):
+        engine = _make_engine(spec)
+        _WORKER["runner"] = _RUNNERS[task](engine, options)
+    _WORKER["engine"] = engine
+    _WORKER["telemetry"] = telemetry_on
+    _WORKER["events"] = events_epoch is not None
+    _WORKER["fault"] = fault
 
 
 def _trip_injected_fault(fault: "dict[str, Any] | None") -> None:
@@ -301,14 +314,26 @@ def _trip_injected_fault(fault: "dict[str, Any] | None") -> None:
         raise RuntimeError("injected batch fault")
 
 
-def _run_batch(batch: ReadBatch) -> BatchResult:
+def _run_batch(batch: ReadBatch, batch_index: int) -> BatchResult:
     _trip_injected_fault(_WORKER.get("fault"))
     engine: SeedingEngine = _WORKER["engine"]
     engine.reset_stats()
     if _WORKER["telemetry"]:
         telemetry.reset()
-    payload = _WORKER["runner"](batch)
-    snap = telemetry.snapshot() if _WORKER["telemetry"] else None
+    recorder = telemetry.recorder()
+    with recorder.scope("batch", {"index": batch_index,
+                                  "reads": len(batch.names)}):
+        payload = _WORKER["runner"](batch)
+    snap: "dict[str, Any] | None" = (telemetry.snapshot()
+                                     if _WORKER["telemetry"] else None)
+    if _WORKER.get("events"):
+        # The drained worker track rides back inside the snapshot slot of
+        # the existing wire tuple; merge_snapshot absorbs it in the
+        # parent even when metrics are disabled.
+        track = telemetry.drain_timeline()
+        if track is not None:
+            snap = {"timeline": track} if snap is None \
+                else dict(snap, timeline=track)
     return payload, engine.stats.as_dict(), snap
 
 
@@ -336,9 +361,10 @@ class _PoolManager:
     """
 
     def __init__(self, workers: int, spec: EngineSpec, task: str,
-                 options: "dict[str, Any]", telemetry_on: bool) -> None:
+                 options: "dict[str, Any]", telemetry_on: bool,
+                 events_epoch: "int | None" = None) -> None:
         self._workers = workers
-        self._initargs = (spec, task, options, telemetry_on)
+        self._initargs = (spec, task, options, telemetry_on, events_epoch)
         self._pool: "ProcessPoolExecutor | None" = None
 
     def spawn(self) -> None:
@@ -353,12 +379,13 @@ class _PoolManager:
                 f"cannot build a working {self._workers}-worker pool: "
                 f"{exc}") from exc
 
-    def submit(self, batch: ReadBatch) -> "Future[BatchResult]":
+    def submit(self, batch: ReadBatch,
+               batch_index: int) -> "Future[BatchResult]":
         """Submit one batch; a submission-time pool failure comes back
         as a failed future so the merge loop owns all classification."""
         assert self._pool is not None
         try:
-            return self._pool.submit(_run_batch, batch)
+            return self._pool.submit(_run_batch, batch, batch_index)
         except (BrokenExecutor, RuntimeError) as exc:
             failed: "Future[BatchResult]" = Future()
             failed.set_exception(exc)
@@ -443,9 +470,13 @@ def _serial_batches(engine: SeedingEngine, task: str,
     """The in-process loop shared by the serial fast path and the
     degraded-mode fallback."""
     runner = _RUNNERS[task](engine, options)
-    for batch in batches:
+    recorder = telemetry.recorder()
+    for index, batch in enumerate(batches):
         engine.reset_stats()
-        yield runner(batch), engine.stats.as_dict(), None
+        with recorder.scope("batch", {"index": index,
+                                      "reads": len(batch.names)}):
+            payload = runner(batch)
+        yield payload, engine.stats.as_dict(), None
 
 
 def _degrade_to_serial(spec: EngineSpec, task: str,
@@ -469,12 +500,18 @@ def _degrade_to_serial(spec: EngineSpec, task: str,
 
 def _pool_map(spec: EngineSpec, task: str, options: "dict[str, Any]",
               batches: "Sequence[ReadBatch]",
-              config: ParallelConfig, workers: int) \
+              config: ParallelConfig, workers: int,
+              reporter: "ProgressReporter | None" = None) \
         -> "Iterator[BatchResult]":
     """The fault-tolerant pool path behind :func:`map_batches`."""
     policy = config.resolved_policy()
+    recorder = telemetry.recorder()
+    # Ship the parent's trace epoch through the pool initializer so
+    # worker events land on the same timeline (the monotonic clock is
+    # system-wide on the platforms we run on).
+    events_epoch = recorder.epoch_ns if recorder.recording else None
     manager = _PoolManager(workers, spec, task, options,
-                           telemetry.enabled())
+                           telemetry.enabled(), events_epoch)
     try:
         manager.spawn()
     except PoolUnavailableError as exc:
@@ -487,9 +524,13 @@ def _pool_map(spec: EngineSpec, task: str, options: "dict[str, Any]",
         while next_index < len(batches) or pending:
             while next_index < len(batches) and len(pending) < max_inflight:
                 batch = batches[next_index]
-                pending.append(_PendingBatch(next_index, batch,
-                                             manager.submit(batch)))
+                recorder.instant("parallel.submit", {"batch": next_index})
+                pending.append(_PendingBatch(
+                    next_index, batch, manager.submit(batch, next_index)))
                 next_index += 1
+                recorder.counter("parallel.inflight", len(pending))
+            if reporter is not None:
+                reporter.set_inflight(len(pending))
             head = pending[0]
             try:
                 result = head.future.result(timeout=policy.batch_timeout)
@@ -502,20 +543,28 @@ def _pool_map(spec: EngineSpec, task: str, options: "dict[str, Any]",
                 raise _classify_failure(exc, head.index) from exc
             else:
                 pending.popleft()
+                recorder.instant("parallel.merge", {"batch": head.index})
+                recorder.counter("parallel.inflight", len(pending))
                 yield result
                 continue
             # -- recovery: failure surfaced at the merge point ---------
             head.failures += 1
+            recorder.instant("parallel.fault",
+                             {"batch": head.index,
+                              "kind": type(failure).__name__})
             if isinstance(failure, BatchTimeoutError):
                 telemetry.count("parallel.batch_timeouts")
             elif isinstance(failure, WorkerCrashError):
                 telemetry.count("parallel.worker_crashes")
+                if reporter is not None:
+                    reporter.crash()
             if not failure.retryable or head.failures >= policy.max_attempts:
                 raise failure
             with telemetry.span("parallel.recovery"):
                 telemetry.count("parallel.retries")
                 telemetry.count("parallel.pool_respawns")
                 time.sleep(policy.delay(head.failures))
+                recorder.instant("parallel.respawn", {"workers": workers})
                 try:
                     manager.respawn()
                 except PoolUnavailableError as exc:
@@ -525,7 +574,7 @@ def _pool_map(spec: EngineSpec, task: str, options: "dict[str, Any]",
                                                   remaining, exc)
                     return
                 for entry in pending:
-                    entry.future = manager.submit(entry.batch)
+                    entry.future = manager.submit(entry.batch, entry.index)
     finally:
         manager.kill()
 
@@ -537,7 +586,9 @@ def _pool_map(spec: EngineSpec, task: str, options: "dict[str, Any]",
 
 def map_batches(spec: EngineSpec, task: str, options: "dict[str, Any]",
                 batches: "Iterable[ReadBatch]",
-                config: ParallelConfig) -> "Iterator[BatchResult]":
+                config: ParallelConfig,
+                reporter: "ProgressReporter | None" = None) \
+        -> "Iterator[BatchResult]":
     """Run ``batches`` through the worker pool, yielding results in
     submission order with at most ``max_inflight`` outstanding.
 
@@ -545,7 +596,10 @@ def map_batches(spec: EngineSpec, task: str, options: "dict[str, Any]",
     the same batch units -- the serial fast path.  Pool failures are
     classified, retried and degraded per the module docstring; when a
     typed error escapes this generator, every consumed prefix result was
-    already byte-exact and no partial batch has been yielded.
+    already byte-exact and no partial batch has been yielded.  An
+    optional :class:`~repro.telemetry.progress.ProgressReporter` gets
+    in-flight depth and crash notifications (completed-read counts are
+    the consumer's job -- see :func:`_aggregate`).
     """
     workers = config.resolved_workers()
     if workers <= 1 or spec[0] == "local":
@@ -553,16 +607,20 @@ def map_batches(spec: EngineSpec, task: str, options: "dict[str, Any]",
                                    batches)
         return
     yield from _pool_map(spec, task, options, list(batches), config,
-                         workers)
+                         workers, reporter)
 
 
-def _aggregate(results: "Iterable[BatchResult]") \
+def _aggregate(results: "Iterable[BatchResult]",
+               batches: "Sequence[ReadBatch] | None" = None,
+               reporter: "ProgressReporter | None" = None) \
         -> "tuple[list[Any], EngineStats]":
     """Collect payloads in order; fold stats and worker telemetry.
 
     Worker snapshots merge keyed by submission order, so gauges resolve
     to the highest batch index deterministically -- the same value a
-    serial run would leave behind -- at any worker count.
+    serial run would leave behind -- at any worker count.  When the
+    submitted ``batches`` are provided alongside a ``reporter``, each
+    merged batch advances the heartbeat by its read count.
     """
     payloads: "list[Any]" = []
     stats = EngineStats()
@@ -571,22 +629,28 @@ def _aggregate(results: "Iterable[BatchResult]") \
         stats.add_dict(stat_delta)
         if snap is not None:
             telemetry.merge_snapshot(snap, order=order)
+        if reporter is not None and batches is not None:
+            reporter.advance(len(batches[order].names))
     return payloads, stats
 
 
 def _execute_over_index(index: ErtIndex, task: str,
                         options: "dict[str, Any]",
                         batches: "list[ReadBatch]", config: ParallelConfig,
-                        gather_limit: int = 500) \
+                        gather_limit: int = 500,
+                        reporter: "ProgressReporter | None" = None) \
         -> "tuple[list[Any], EngineStats]":
     workers = config.resolved_workers()
     if workers <= 1:
         engine = ErtSeedingEngine(index, gather_limit=gather_limit)
         return _aggregate(map_batches(("local", engine), task, options,
-                                      batches, config))
+                                      batches, config, reporter),
+                          batches, reporter)
     with SharedIndexBuffer(index) as shared:
         spec: EngineSpec = ("shm", shared.name, shared.size, gather_limit)
-        return _aggregate(map_batches(spec, task, options, batches, config))
+        return _aggregate(map_batches(spec, task, options, batches, config,
+                                      reporter),
+                          batches, reporter)
 
 
 # ----------------------------------------------------------------------
@@ -597,7 +661,8 @@ def _execute_over_index(index: ErtIndex, task: str,
 def seed_reads(index: ErtIndex, reads: "Sequence[object]",
                params: "SeedingParams | None" = None,
                config: "ParallelConfig | None" = None,
-               gather_limit: int = 500) \
+               gather_limit: int = 500,
+               reporter: "ProgressReporter | None" = None) \
         -> "tuple[list[str], EngineStats]":
     """Seed ``reads`` in batches; returns the CLI's TSV lines (one per
     seed, newline-terminated, in input order) plus aggregated stats."""
@@ -606,13 +671,15 @@ def seed_reads(index: ErtIndex, reads: "Sequence[object]",
     batches = [pack_batch(chunk)
                for chunk in iter_chunks(reads, config.batch_size)]
     per_batch, stats = _execute_over_index(index, "seed", options, batches,
-                                           config, gather_limit)
+                                           config, gather_limit,
+                                           reporter=reporter)
     return [line for lines in per_batch for line in lines], stats
 
 
 def align_reads(index: ErtIndex, reads: "Sequence[object]",
                 params: "SeedingParams | None" = None,
-                config: "ParallelConfig | None" = None) \
+                config: "ParallelConfig | None" = None,
+                reporter: "ProgressReporter | None" = None) \
         -> "tuple[list[SamRecord], EngineStats]":
     """Align ``reads`` to SAM records, byte-identical to the serial
     per-read loop, in input order."""
@@ -621,14 +688,16 @@ def align_reads(index: ErtIndex, reads: "Sequence[object]",
     batches = [pack_batch(chunk)
                for chunk in iter_chunks(reads, config.batch_size)]
     per_batch, stats = _execute_over_index(index, "align", options,
-                                           batches, config)
+                                           batches, config,
+                                           reporter=reporter)
     return [rec for recs in per_batch for rec in recs], stats
 
 
 def align_pairs(index: ErtIndex, reads: "Sequence[object]",
                 params: "SeedingParams | None" = None,
                 insert_mean: int = 350, insert_sd: int = 50,
-                config: "ParallelConfig | None" = None) \
+                config: "ParallelConfig | None" = None,
+                reporter: "ProgressReporter | None" = None) \
         -> "tuple[list[SamRecord], EngineStats]":
     """Align interleaved paired-end ``reads`` (mate1, mate2, ...).
 
@@ -644,7 +713,8 @@ def align_pairs(index: ErtIndex, reads: "Sequence[object]",
     batches = [pack_batch(chunk)
                for chunk in iter_chunks(reads, 2 * config.batch_size)]
     per_batch, stats = _execute_over_index(index, "align-pe", options,
-                                           batches, config)
+                                           batches, config,
+                                           reporter=reporter)
     return [rec for recs in per_batch for rec in recs], stats
 
 

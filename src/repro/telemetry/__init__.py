@@ -32,12 +32,14 @@ Typical use::
 
 from __future__ import annotations
 
+from repro.telemetry.events import TimelineRecorder, trace_document
 from repro.telemetry.export import (
     load_snapshot,
     render_profile,
     render_spans,
     write_json,
     write_jsonl,
+    write_trace,
 )
 from repro.telemetry.metrics import (
     DEFAULT_EDGES,
@@ -45,8 +47,10 @@ from repro.telemetry.metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    bucket_percentile,
     sanitize,
 )
+from repro.telemetry.progress import ProgressReporter
 from repro.telemetry.spans import NoopSpan, SpanStat, Tracer
 
 __all__ = [
@@ -56,16 +60,24 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "NoopSpan",
+    "ProgressReporter",
     "SpanStat",
+    "TimelineRecorder",
     "Tracer",
     "add_counters",
+    "bucket_percentile",
     "count",
+    "current_trace",
     "disable",
+    "drain_timeline",
     "enable",
     "enabled",
+    "instant",
     "load_snapshot",
     "merge_snapshot",
     "observe",
+    "recorder",
+    "recording",
     "registry",
     "render_profile",
     "render_spans",
@@ -74,9 +86,14 @@ __all__ = [
     "set_gauge",
     "snapshot",
     "span",
+    "start_recording",
+    "stop_recording",
+    "trace_document",
+    "trace_events",
     "tracer",
     "write_json",
     "write_jsonl",
+    "write_trace",
 ]
 
 
@@ -85,7 +102,10 @@ __all__ = [
 _enabled = False
 
 _registry = MetricsRegistry()
-_tracer = Tracer()
+_recorder = TimelineRecorder()
+#: The global tracer carries the timeline bridge: when recording is on,
+#: every span also lands B/E events in the recorder.
+_tracer = Tracer(events=_recorder)
 _NOOP_SPAN = NoopSpan()
 
 
@@ -126,9 +146,71 @@ def fork_reset() -> None:
     """Reset for a freshly forked worker process: drop every inherited
     metric and abandon any span the parent had open at fork time (the
     parent closes those spans in its own process; in the child they
-    could never close, and :func:`reset` would refuse to run)."""
+    could never close, and :func:`reset` would refuse to run).  The
+    timeline recorder is re-homed to the child pid; the pool
+    initializer restarts it on the parent's epoch when capture is on."""
     _registry.reset()
     _tracer.abandon()
+    _recorder.fork_reset()
+
+
+# ----------------------------------------------------------------------
+# Timeline recording (the event stream behind ``--trace-out``)
+# ----------------------------------------------------------------------
+#
+# Recording has its own switch, independent of the metrics flag: metrics
+# answer "how much", the timeline answers "when", and either is useful
+# alone.  :func:`reset` deliberately leaves the recorder untouched --
+# worker processes reset metrics per batch while their timeline keeps
+# accumulating until drained (see repro.parallel.scheduler._run_batch).
+
+
+def recorder() -> TimelineRecorder:
+    """The process-wide timeline event recorder."""
+    return _recorder
+
+
+def start_recording(epoch_ns: "int | None" = None) -> int:
+    """Clear the timeline and start recording events.  Pass another
+    recorder's epoch to align this process's events with its timeline
+    (what pool workers do); the default anchors the trace at *now*.
+    Returns the epoch in use."""
+    return _recorder.start(epoch_ns)
+
+
+def stop_recording() -> None:
+    """Stop recording; buffered events stay available for export."""
+    _recorder.stop()
+
+
+def recording() -> bool:
+    return _recorder.recording
+
+
+def instant(name: str, arg: "object | None" = None) -> None:
+    """Record a point-in-time event (a no-op unless recording)."""
+    _recorder.instant(name, arg)
+
+
+def drain_timeline() -> "dict | None":
+    """Drain the local event ring as a JSON-able track (what a worker
+    ships back per batch), or ``None`` when not recording."""
+    if not _recorder.recording:
+        return None
+    return _recorder.drain_track()
+
+
+def current_trace() -> dict:
+    """The full Chrome/Perfetto trace JSON object for everything
+    recorded so far (own ring plus absorbed worker tracks); pass it to
+    :func:`write_trace`."""
+    return trace_document(_recorder.tracks(), _recorder.epoch_ns)
+
+
+def trace_events() -> "list[dict]":
+    """Chrome ``trace_event`` dicts for everything recorded (own ring
+    plus absorbed worker tracks)."""
+    return current_trace()["traceEvents"]
 
 
 # ----------------------------------------------------------------------
@@ -188,8 +270,12 @@ def merge_snapshot(data: dict, order: "int | None" = None) -> None:
     gauges resolve by ``order`` (the snapshot's batch submission index;
     highest order wins, so merged gauges are deterministic under
     out-of-order worker completion) or last-write-wins when ``order`` is
-    omitted.  A no-op while telemetry is disabled, so schedulers can
-    call it unconditionally."""
+    omitted.  Timeline tracks (the ``"timeline"`` key a worker's
+    :func:`drain_timeline` attaches) are absorbed whenever recording is
+    on, even if metrics are disabled.  Otherwise a no-op while telemetry
+    is disabled, so schedulers can call it unconditionally."""
+    if _recorder.recording:
+        _recorder.absorb(data.get("timeline"))
     if not _enabled:
         return
     _registry.merge_snapshot(data, order=order)

@@ -1,0 +1,316 @@
+"""Ring-buffered timeline events and the Chrome/Perfetto trace export.
+
+The span tracer (:mod:`repro.telemetry.spans`) answers *how much* time
+each stage took in aggregate; this module answers *when*: it records a
+bounded stream of timestamped events -- span begin/end pairs, point
+instants (a batch submission, a pool respawn), and counter samples
+(batches in flight) -- that exports as Chrome ``trace_event`` JSON,
+loadable in Perfetto (https://ui.perfetto.dev) or ``chrome://tracing``.
+That is the time-resolved view the paper's evaluation is built on:
+scheduler stalls, crash-recovery gaps and per-worker occupancy are
+visible as tracks instead of being averaged away.
+
+Design constraints, in order:
+
+* **Zero cost while off.**  Every recording method returns after a
+  single ``self.recording`` check; nothing is allocated.  Like the rest
+  of telemetry, recording is opt-in (``--trace-out`` or
+  :func:`repro.telemetry.start_recording`).
+* **Bounded memory.**  Events land in a fixed-capacity ring; when it
+  wraps, the *oldest* events are overwritten and counted in
+  ``dropped``.  The export repairs the seam: an ``E`` whose ``B`` was
+  overwritten is discarded, and a ``B`` left open at the end of the
+  stream is closed with a synthetic ``E``, so the emitted trace always
+  has matched begin/end pairs.
+* **Cross-process mergeable.**  Each event carries a monotonic
+  ``perf_counter_ns`` timestamp; a recorder is pinned to the pid that
+  created it.  Worker recorders are started on the *parent's* epoch
+  (shipped through the pool initializer), drained per batch into plain
+  JSON-able tracks, and absorbed into the parent recorder -- on Linux
+  and macOS the monotonic clock is system-wide, so worker events align
+  with parent events on one timeline without any translation.
+
+An event is the 4-tuple ``(ph, ts_ns, name, arg)`` where ``ph`` is the
+Chrome phase letter (``B``/``E``/``i``/``C``), ``ts_ns`` the raw
+monotonic timestamp, and ``arg`` an optional JSON-able payload (the
+sampled value for counter events).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+#: Chrome trace_event phase letters used by the recorder.
+PH_BEGIN = "B"
+PH_END = "E"
+PH_INSTANT = "i"
+PH_COUNTER = "C"
+
+#: Default ring capacity (events).  ~64k events cover hundreds of
+#: thousands of reads at batch granularity; per-read span events from a
+#: long run wrap the ring and keep the most recent window, which is the
+#: useful one for "what was the run doing when it slowed down".
+DEFAULT_CAPACITY = 1 << 16
+
+
+class TimelineRecorder:
+    """A bounded, per-process timeline event buffer.
+
+    One recorder lives in each process (the module-level one in
+    :mod:`repro.telemetry`); worker processes drain theirs into plain
+    *tracks* that the parent absorbs.  The ``clock`` is injectable for
+    deterministic tests and must return integer nanoseconds.
+    """
+
+    __slots__ = ("capacity", "recording", "pid", "label", "epoch_ns",
+                 "dropped", "_buf", "_next", "_wrapped", "_clock",
+                 "_foreign")
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY,
+                 clock=time.perf_counter_ns) -> None:
+        if capacity < 1:
+            raise ValueError("recorder capacity must be at least 1")
+        self.capacity = capacity
+        self.recording = False
+        self.pid = os.getpid()
+        self.label = "main"
+        #: Trace epoch: timestamps export relative to this instant.
+        self.epoch_ns = 0
+        #: Events overwritten by ring wrap-around since ``start``.
+        self.dropped = 0
+        self._buf: "list[tuple]" = []
+        self._next = 0
+        self._wrapped = False
+        self._clock = clock
+        #: Tracks absorbed from other processes (workers), untouched by
+        #: ``clear`` of the local ring only via :meth:`clear`.
+        self._foreign: "list[dict]" = []
+
+    # -- lifecycle -----------------------------------------------------
+
+    def start(self, epoch_ns: "int | None" = None) -> int:
+        """Clear the buffer and begin recording.  ``epoch_ns`` anchors
+        the trace timeline; workers pass the parent's epoch so their
+        events align, the parent lets it default to *now*.  Returns the
+        epoch in use."""
+        self.clear()
+        self.epoch_ns = self._clock() if epoch_ns is None else epoch_ns
+        self.recording = True
+        return self.epoch_ns
+
+    def stop(self) -> None:
+        """Stop recording; buffered events are kept for export."""
+        self.recording = False
+
+    def clear(self) -> None:
+        """Drop every buffered event (own ring and absorbed tracks)."""
+        self._buf = []
+        self._next = 0
+        self._wrapped = False
+        self.dropped = 0
+        self._foreign = []
+
+    def fork_reset(self) -> None:
+        """Re-home the recorder in a freshly forked worker: adopt the
+        child pid, drop every inherited event, and stop recording (the
+        pool initializer restarts it on the parent's epoch when timeline
+        capture is on)."""
+        self.pid = os.getpid()
+        self.label = f"worker-{self.pid}"
+        self.recording = False
+        self.clear()
+
+    # -- recording (hot path: one flag check when off) -----------------
+
+    def begin(self, name: str, arg: "object | None" = None) -> None:
+        if not self.recording:
+            return
+        self._append((PH_BEGIN, self._clock(), name, arg))
+
+    def end(self, name: str) -> None:
+        if not self.recording:
+            return
+        self._append((PH_END, self._clock(), name, None))
+
+    def instant(self, name: str, arg: "object | None" = None) -> None:
+        if not self.recording:
+            return
+        self._append((PH_INSTANT, self._clock(), name, arg))
+
+    def counter(self, name: str, value: float) -> None:
+        if not self.recording:
+            return
+        self._append((PH_COUNTER, self._clock(), name, value))
+
+    def scope(self, name: str, arg: "object | None" = None) -> "_EventScope":
+        """Context manager emitting a ``B``/``E`` pair around its body
+        (cheap no-ops while not recording).  This is how non-span code
+        (pool initializers, the scheduler merge loop) lands durations on
+        the timeline without involving the span tracer."""
+        return _EventScope(self, name, arg)
+
+    def _append(self, event: tuple) -> None:
+        if self._wrapped:
+            self._buf[self._next] = event
+            self.dropped += 1
+        else:
+            self._buf.append(event)
+        self._next += 1
+        if self._next == self.capacity:
+            self._next = 0
+            self._wrapped = True
+
+    # -- draining and merging ------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._buf)
+
+    def events(self) -> "list[tuple]":
+        """Own-ring events in chronological (insertion) order."""
+        if not self._wrapped:
+            return list(self._buf)
+        return self._buf[self._next:] + self._buf[:self._next]
+
+    def drain_track(self) -> dict:
+        """Snapshot the own ring as a plain JSON-able *track* and clear
+        it (recording state is untouched).  This is what a worker ships
+        back per batch."""
+        track = {"pid": self.pid, "label": self.label,
+                 "events": self.events(), "dropped": self.dropped}
+        self._buf = []
+        self._next = 0
+        self._wrapped = False
+        self.dropped = 0
+        return track
+
+    def absorb(self, track: "dict | None") -> None:
+        """Fold a track drained in another process into this recorder;
+        it rides along to the export untouched.  ``None`` and empty
+        tracks are ignored so schedulers can call this unconditionally."""
+        if track and track.get("events"):
+            self._foreign.append(track)
+
+    def tracks(self) -> "list[dict]":
+        """Every track this recorder knows: its own ring first, then the
+        absorbed worker tracks."""
+        own = {"pid": self.pid, "label": self.label,
+               "events": self.events(), "dropped": self.dropped}
+        return [own] + list(self._foreign)
+
+
+class _EventScope:
+    """B/E pair emitter for :meth:`TimelineRecorder.scope`."""
+
+    __slots__ = ("recorder", "name", "arg")
+
+    def __init__(self, recorder: TimelineRecorder, name: str,
+                 arg: "object | None") -> None:
+        self.recorder = recorder
+        self.name = name
+        self.arg = arg
+
+    def __enter__(self) -> "_EventScope":
+        self.recorder.begin(self.name, self.arg)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.recorder.end(self.name)
+
+
+# ----------------------------------------------------------------------
+# Chrome trace_event conversion
+# ----------------------------------------------------------------------
+
+
+def _us(ts_ns: int, epoch_ns: int) -> float:
+    """Monotonic ns -> trace microseconds relative to the epoch."""
+    return (ts_ns - epoch_ns) / 1000.0
+
+
+def _repair_pairs(events: "list[tuple]") -> "list[tuple]":
+    """Enforce matched ``B``/``E`` pairs within one track.
+
+    Ring wrap-around drops the *oldest* events, which are exactly the
+    outermost ``B``'s; their orphaned ``E``'s are discarded here.  A
+    ``B`` still open at the end of the stream (an in-flight span at
+    export time, or an ``E`` lost to a worker crash) is closed with a
+    synthetic ``E`` at the last seen timestamp, so every emitted track
+    nests cleanly.
+    """
+    out: "list[tuple]" = []
+    stack: "list[int]" = []  # indices into out of open B events
+    last_ts = 0
+    for event in events:
+        ph, ts_ns = event[0], event[1]
+        last_ts = max(last_ts, ts_ns)
+        if ph == PH_BEGIN:
+            stack.append(len(out))
+            out.append(event)
+        elif ph == PH_END:
+            if stack and out[stack[-1]][2] == event[2]:
+                stack.pop()
+                out.append(event)
+            # else: the matching B was overwritten -- drop the orphan E.
+        else:
+            out.append(event)
+    for _ in range(len(stack)):
+        open_b = out[stack.pop()]
+        out.append((PH_END, last_ts, open_b[2], None))
+    return out
+
+
+def to_trace_events(tracks: "list[dict]", epoch_ns: int) -> "list[dict]":
+    """Convert recorder tracks to Chrome ``trace_event`` dicts, sorted
+    by timestamp, with one ``process_name`` metadata record per pid.
+
+    Every event carries ``pid`` (the recording process) and ``tid`` 0 --
+    the reproduction is single-threaded per process, so Perfetto renders
+    one row per process, which is the per-worker occupancy view.
+    """
+    out: "list[dict]" = []
+    seen_pids: "dict[int, str]" = {}
+    for track in tracks:
+        pid = int(track.get("pid", 0))
+        label = str(track.get("label", f"pid-{pid}"))
+        seen_pids.setdefault(pid, label)
+        for event in _repair_pairs([tuple(e) for e in track["events"]]):
+            ph, ts_ns, name, arg = event
+            record: "dict[str, object]" = {
+                "name": name, "ph": ph, "ts": _us(int(ts_ns), epoch_ns),
+                "pid": pid, "tid": 0, "cat": "repro",
+            }
+            if ph == PH_INSTANT:
+                record["s"] = "t"
+                if arg is not None:
+                    record["args"] = arg if isinstance(arg, dict) \
+                        else {"value": arg}
+            elif ph == PH_COUNTER:
+                record["args"] = {"value": arg}
+            elif ph == PH_BEGIN and arg is not None:
+                record["args"] = arg if isinstance(arg, dict) \
+                    else {"value": arg}
+            out.append(record)
+    # Stable sort on ts only: events at equal timestamps keep their
+    # per-track insertion order, which is what preserves B/E nesting
+    # within a pid when a span opens and closes in the same tick.
+    out.sort(key=lambda r: r["ts"])
+    meta = [{"name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+             "args": {"name": label}}
+            for pid, label in sorted(seen_pids.items())]
+    return meta + out
+
+
+def trace_document(tracks: "list[dict]", epoch_ns: int) -> dict:
+    """The full JSON-object form of a trace (what ``--trace-out``
+    writes): Chrome/Perfetto accept either a bare event array or this
+    object form; the object form lets us attach metadata."""
+    return {
+        "traceEvents": to_trace_events(tracks, epoch_ns),
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "producer": "ert-repro telemetry timeline",
+            "dropped_events": sum(int(t.get("dropped", 0))
+                                  for t in tracks),
+        },
+    }

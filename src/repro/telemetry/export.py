@@ -17,6 +17,8 @@ from __future__ import annotations
 
 import json
 
+from repro.telemetry.metrics import bucket_percentile
+
 
 SNAPSHOT_KEYS = ("counters", "gauges", "histograms", "spans")
 
@@ -34,6 +36,28 @@ def write_jsonl(path, snapshot: dict, label: str = "") -> None:
     record.update(snapshot)
     with open(path, "a") as handle:
         handle.write(json.dumps(record, sort_keys=True) + "\n")
+
+
+def write_trace(path, document: dict) -> None:
+    """Write a Chrome/Perfetto trace document (the object produced by
+    :func:`repro.telemetry.current_trace` /
+    :func:`repro.telemetry.events.trace_document`) as compact JSON.
+    Open the file at https://ui.perfetto.dev or ``chrome://tracing``."""
+    with open(path, "w") as handle:
+        json.dump(document, handle, separators=(",", ":"))
+        handle.write("\n")
+
+
+def load_trace(path) -> dict:
+    """Read back a trace written by :func:`write_trace` (accepts both
+    the object form and a bare event array)."""
+    with open(path) as handle:
+        data = json.load(handle)
+    if isinstance(data, list):
+        return {"traceEvents": data}
+    if not isinstance(data, dict) or "traceEvents" not in data:
+        raise ValueError(f"{path}: not a trace_event document")
+    return data
 
 
 def load_snapshot(path) -> dict:
@@ -126,11 +150,21 @@ def render_profile(snapshot: dict, title: "str | None" = None) -> str:
         for name, hist in sorted(histograms.items()):
             count = hist.get("count", 0)
             mean = hist["total"] / count if count else 0.0
-            rows.append([name, f"{count:,}", f"{mean:,.1f}",
-                         f"{hist['min']:g}" if hist["min"] is not None
-                         else "-",
-                         f"{hist['max']:g}" if hist["max"] is not None
-                         else "-"])
+            row = [name, f"{count:,}", f"{mean:,.1f}",
+                   f"{hist['min']:g}" if hist["min"] is not None
+                   else "-",
+                   f"{hist['max']:g}" if hist["max"] is not None
+                   else "-"]
+            for q in (0.50, 0.90, 0.99):
+                # Recompute from the buckets rather than trusting stored
+                # p50/p90/p99 keys, so snapshots written before the
+                # percentile columns existed still render.
+                value = bucket_percentile(
+                    hist["edges"], hist["counts"], count,
+                    hist["min"], hist["max"], q)
+                row.append(f"{value:,.1f}" if value is not None else "-")
+            rows.append(row)
         parts.append(_format_table(
-            ["histogram", "samples", "mean", "min", "max"], rows))
+            ["histogram", "samples", "mean", "min", "max", "p50", "p90",
+             "p99"], rows))
     return "\n".join(parts)

@@ -90,6 +90,13 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def percentile(self, q: float) -> "float | None":
+        """Estimated ``q``-quantile (``0 < q <= 1``) via linear
+        interpolation inside the bucket holding the target rank; see
+        :func:`bucket_percentile`."""
+        return bucket_percentile(self.edges, self.counts, self.count,
+                                 self.min, self.max, q)
+
     def merge(self, data: dict) -> None:
         """Fold another histogram's :meth:`as_dict` snapshot into this
         one.  Bucket edges must match -- merging is only meaningful when
@@ -118,7 +125,53 @@ class Histogram:
             "total": self.total,
             "min": self.min,
             "max": self.max,
+            "p50": self.percentile(0.50),
+            "p90": self.percentile(0.90),
+            "p99": self.percentile(0.99),
         }
+
+
+def bucket_percentile(edges, counts, count, lo, hi, q) -> "float | None":
+    """Quantile estimate from bucketed data by linear interpolation.
+
+    The bucket holding the target rank ``q * count`` is located by
+    cumulative count; the estimate interpolates linearly between that
+    bucket's bounds.  Bounds are tightened with the *observed* extremes:
+    the first bucket's lower bound is the recorded ``min`` (its edge
+    would otherwise be unbounded below) and the overflow bucket's upper
+    bound is the recorded ``max``.  Exact within a bucket only when
+    values are uniform inside it -- the standard histogram-quantile
+    trade-off (same scheme as Prometheus's ``histogram_quantile``).
+
+    Returns ``None`` for an empty histogram; ``q`` outside ``(0, 1]``
+    raises.
+    """
+    if not 0.0 < q <= 1.0:
+        raise ValueError(f"percentile q must be in (0, 1], got {q}")
+    if not count:
+        return None
+    target = q * count
+    cumulative = 0.0
+    for i, bucket_count in enumerate(counts):
+        if not bucket_count:
+            continue
+        if cumulative + bucket_count >= target:
+            if i == 0:
+                lower = lo if lo is not None else edges[0]
+            else:
+                lower = edges[i - 1]
+            if i < len(edges):
+                upper = edges[i]
+            else:
+                upper = hi if hi is not None else edges[-1]
+            if hi is not None:
+                upper = min(upper, hi)
+            if upper <= lower:
+                return float(lower)
+            fraction = (target - cumulative) / bucket_count
+            return float(lower + fraction * (upper - lower))
+        cumulative += bucket_count
+    return float(hi) if hi is not None else float(edges[-1])
 
 
 class MetricsRegistry:

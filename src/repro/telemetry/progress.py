@@ -1,0 +1,137 @@
+"""Live run reporting: a rate-limited, TTY-aware stderr heartbeat.
+
+Long ``seed``/``align`` runs were previously silent until the final
+summary line; with the batch scheduler in the loop there is real
+operational state worth surfacing as it happens -- reads completed,
+instantaneous throughput, batches in flight, worker crashes survived,
+and an ETA.  :class:`ProgressReporter` prints exactly that, under two
+hard constraints:
+
+* **Rate-limited.**  At most one heartbeat per ``min_interval_s``
+  (default 0.5 s on a TTY, 10 s otherwise), however often the scheduler
+  reports progress -- a 100k-read run does not emit 100k lines.
+* **TTY-aware.**  On a terminal the heartbeat redraws one line with
+  ``\\r`` and clears itself when done; piped to a file it degrades to
+  plain, sparse, newline-terminated lines (or stays silent unless
+  forced).  Machine consumers should use ``--trace-out`` /
+  ``--metrics-out``, never parse the heartbeat.
+
+This module is the *only* place in ``src/repro/`` (outside the CLI)
+allowed to write progress to stderr -- checker rule ERT010 enforces
+that; all other status must flow through telemetry events/metrics.
+
+The reporter is deliberately decoupled from the telemetry enable flag:
+``--progress`` works on runs that record no metrics at all.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+#: Heartbeat floor when the stream is not a terminal: sparse lines, so a
+#: captured CI log stays readable.
+NON_TTY_INTERVAL_S = 10.0
+
+
+class ProgressReporter:
+    """Streams a heartbeat for one batched run.
+
+    The scheduler calls :meth:`advance` as batches merge,
+    :meth:`set_inflight` as submissions move, and :meth:`crash` when a
+    worker dies; :meth:`finish` prints the terminal summary and restores
+    the line.  All methods are cheap no-ops when the reporter is
+    disabled (non-TTY stream without ``force``).
+    """
+
+    def __init__(self, total: int, label: str = "reads",
+                 stream=None, min_interval_s: float = 0.5,
+                 clock=time.monotonic, force: bool = False) -> None:
+        self.total = max(0, int(total))
+        self.label = label
+        self.stream = sys.stderr if stream is None else stream
+        try:
+            self._tty = bool(self.stream.isatty())
+        except (AttributeError, ValueError):
+            self._tty = False
+        self.enabled = force or self._tty
+        self.min_interval_s = (min_interval_s if self._tty
+                               else max(min_interval_s, NON_TTY_INTERVAL_S))
+        self._clock = clock
+        self._start = clock()
+        self._last_emit = float("-inf")
+        self._last_line_len = 0
+        self.done = 0
+        self.inflight = 0
+        self.crashes = 0
+        self.heartbeats = 0
+
+    # -- scheduler-facing hooks ----------------------------------------
+
+    def advance(self, n: int) -> None:
+        """``n`` more units (reads) fully merged into the output."""
+        self.done += n
+        self._maybe_emit()
+
+    def set_inflight(self, n: int) -> None:
+        self.inflight = n
+
+    def crash(self) -> None:
+        """A worker died; surface it immediately (crashes are rare and
+        operationally urgent, so they bypass the rate limit)."""
+        self.crashes += 1
+        self._maybe_emit(urgent=True)
+
+    def finish(self) -> None:
+        """Final summary; on a TTY this replaces the heartbeat line."""
+        if not self.enabled:
+            return
+        elapsed = max(self._clock() - self._start, 1e-9)
+        line = (f"{self.label}: {self.done:,}/{self.total:,} done in "
+                f"{elapsed:.1f}s ({self.done / elapsed:,.0f}/s)"
+                + (f", {self.crashes} worker crash(es) survived"
+                   if self.crashes else ""))
+        self._write_line(line, final=True)
+
+    # -- rendering -----------------------------------------------------
+
+    def render(self) -> str:
+        """The current heartbeat line (exposed for tests)."""
+        elapsed = max(self._clock() - self._start, 1e-9)
+        rate = self.done / elapsed
+        if self.total and 0 < self.done < self.total and rate > 0:
+            eta = (self.total - self.done) / rate
+            eta_part = f" eta {eta:,.0f}s"
+        else:
+            eta_part = ""
+        pct = (f" ({100.0 * self.done / self.total:.0f}%)"
+               if self.total else "")
+        crash_part = (f" crashes {self.crashes}" if self.crashes else "")
+        return (f"{self.label}: {self.done:,}/{self.total:,}{pct} "
+                f"{rate:,.0f}/s inflight {self.inflight}"
+                f"{eta_part}{crash_part}")
+
+    def _maybe_emit(self, urgent: bool = False) -> None:
+        if not self.enabled:
+            return
+        now = self._clock()
+        if not urgent and now - self._last_emit < self.min_interval_s:
+            return
+        self._last_emit = now
+        self.heartbeats += 1
+        self._write_line(self.render())
+
+    def _write_line(self, line: str, final: bool = False) -> None:
+        if self._tty:
+            # Redraw in place, blanking any longer previous line.
+            pad = " " * max(0, self._last_line_len - len(line))
+            self.stream.write("\r" + line + pad)
+            if final:
+                self.stream.write("\n")
+            self._last_line_len = len(line)
+        else:
+            self.stream.write(line + "\n")
+        try:
+            self.stream.flush()
+        except (AttributeError, ValueError, OSError):
+            pass

@@ -81,12 +81,18 @@ class _Span:
         if tracer._stack:
             self.path = f"{tracer._stack[-1].path}/{self.name}"
         tracer._stack.append(self)
+        events = tracer.events
+        if events is not None and events.recording:
+            events.begin(self.name)
         self.start = tracer._clock()
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
         tracer = self.tracer
         elapsed = tracer._clock() - self.start
+        events = tracer.events
+        if events is not None and events.recording:
+            events.end(self.name)
         tracer._stack.pop()
         if tracer._stack:
             tracer._stack[-1].child_s += elapsed
@@ -99,10 +105,15 @@ class _Span:
 class Tracer:
     """Aggregating span tracer (see module docstring)."""
 
-    def __init__(self, clock=time.perf_counter) -> None:
+    def __init__(self, clock=time.perf_counter, events=None) -> None:
         self.stats: "dict[str, SpanStat]" = {}
         self._stack: "list[_Span]" = []
         self._clock = clock
+        #: Optional :class:`repro.telemetry.events.TimelineRecorder`:
+        #: when attached and recording, every span also emits timeline
+        #: B/E events (the bridge behind ``--trace-out``).  Local tracers
+        #: (batch-scoped aggregation) leave this ``None``.
+        self.events = events
 
     def span(self, name: str) -> _Span:
         """Context manager timing one stage; nests under the active span."""

@@ -1,0 +1,13 @@
+"""ERT010 failing fixture: library code writing to the console."""
+# repro: module(repro.seeding.fake)
+
+import sys
+
+
+def seed_with_chatter(engine, reads):
+    results = []
+    for i, read in enumerate(reads):
+        print(f"seeding read {i}")
+        results.append(engine.seed(read))
+    sys.stderr.write("done\n")
+    return results

@@ -1,0 +1,16 @@
+"""ERT010 passing fixture: status flows through telemetry, not the
+console; the reporter object owns any user-visible heartbeat."""
+# repro: module(repro.seeding.fake)
+
+from repro import telemetry
+
+
+def seed_quietly(engine, reads, reporter=None):
+    results = []
+    for read in reads:
+        results.append(engine.seed(read))
+        telemetry.count("seeding.reads")
+        if reporter is not None:
+            reporter.advance(1)
+    telemetry.instant("seeding.done", {"reads": len(reads)})
+    return results

@@ -1,0 +1,186 @@
+"""ProgressReporter: TTY detection, rate limiting, urgent crash lines,
+and the rendered heartbeat/summary contents."""
+
+import io
+
+from repro.telemetry.progress import NON_TTY_INTERVAL_S, ProgressReporter
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+class TtyStream(io.StringIO):
+    def isatty(self):
+        return True
+
+
+def _reporter(total=100, stream=None, tty=False, **kwargs):
+    stream = stream or (TtyStream() if tty else io.StringIO())
+    clock = kwargs.pop("clock", FakeClock())
+    return ProgressReporter(total=total, stream=stream, clock=clock,
+                            **kwargs), stream, clock
+
+
+# ----------------------------------------------------------------------
+# Enablement
+# ----------------------------------------------------------------------
+
+
+def test_disabled_on_non_tty_without_force():
+    reporter, stream, clock = _reporter()
+    assert not reporter.enabled
+    clock.now = 100.0
+    reporter.advance(50)
+    reporter.crash()
+    reporter.finish()
+    assert stream.getvalue() == ""
+    # State still tracked even when silent.
+    assert reporter.done == 50 and reporter.crashes == 1
+
+
+def test_force_enables_on_non_tty():
+    reporter, stream, _ = _reporter(force=True)
+    assert reporter.enabled and not reporter._tty
+    assert reporter.min_interval_s == NON_TTY_INTERVAL_S
+
+
+def test_tty_enables_without_force():
+    reporter, _, _ = _reporter(tty=True)
+    assert reporter.enabled and reporter._tty
+    assert reporter.min_interval_s == 0.5
+
+
+def test_stream_without_isatty_counts_as_non_tty():
+    class NoIsatty:
+        def write(self, text):
+            pass
+
+        def flush(self):
+            pass
+
+    reporter = ProgressReporter(total=1, stream=NoIsatty())
+    assert not reporter.enabled
+
+
+# ----------------------------------------------------------------------
+# Rate limiting
+# ----------------------------------------------------------------------
+
+
+def test_heartbeats_are_rate_limited():
+    reporter, stream, clock = _reporter(force=True)
+    for i in range(1001):
+        clock.now = i * 0.01  # 10 s total across 1001 calls
+        reporter.advance(1)
+    # One line at t=0 plus one per NON_TTY_INTERVAL_S window.
+    assert reporter.heartbeats == 2
+    assert len(stream.getvalue().splitlines()) == 2
+
+
+def test_tty_rate_limit_is_half_second():
+    reporter, stream, clock = _reporter(tty=True)
+    for i in range(100):
+        clock.now = i * 0.1  # 10 s total
+        reporter.advance(1)
+    assert reporter.heartbeats == 20
+
+
+def test_crash_bypasses_rate_limit():
+    reporter, stream, clock = _reporter(force=True)
+    reporter.advance(1)          # consumes the t=0 slot
+    assert reporter.heartbeats == 1
+    reporter.advance(1)          # same instant: suppressed
+    assert reporter.heartbeats == 1
+    reporter.crash()             # urgent: emits anyway
+    assert reporter.heartbeats == 2
+    assert "crashes 1" in stream.getvalue().splitlines()[-1]
+
+
+# ----------------------------------------------------------------------
+# Rendering
+# ----------------------------------------------------------------------
+
+
+def test_render_contents():
+    reporter, _, clock = _reporter(total=200)
+    clock.now = 2.0
+    reporter.done = 50
+    reporter.set_inflight(4)
+    line = reporter.render()
+    assert "reads: 50/200 (25%)" in line
+    assert "25/s" in line
+    assert "inflight 4" in line
+    assert "eta 6s" in line  # 150 left at 25/s
+
+
+def test_render_without_total_or_rate():
+    reporter, _, _ = _reporter(total=0)
+    line = reporter.render()
+    assert "%" not in line and "eta" not in line
+
+
+def test_custom_label():
+    reporter, _, _ = _reporter(label="pairs")
+    assert reporter.render().startswith("pairs: ")
+
+
+def test_finish_summary_line():
+    reporter, stream, clock = _reporter(force=True)
+    reporter.advance(100)
+    clock.now = 4.0
+    reporter.finish()
+    last = stream.getvalue().splitlines()[-1]
+    assert "reads: 100/100 done in 4.0s (25/s)" in last
+    assert "crash" not in last
+
+
+def test_finish_mentions_survived_crashes():
+    reporter, stream, clock = _reporter(force=True)
+    reporter.crash()
+    clock.now = 1.0
+    reporter.finish()
+    assert "1 worker crash(es) survived" in stream.getvalue()
+
+
+def test_tty_redraws_in_place_and_blanks_stale_tail():
+    reporter, stream, clock = _reporter(total=1000, tty=True)
+    reporter.done = 999
+    reporter.inflight = 12
+    reporter._maybe_emit()
+    long_len = reporter._last_line_len
+    clock.now = 1.0
+    reporter.done = 1000
+    reporter.inflight = 0
+    reporter.finish()
+    text = stream.getvalue()
+    assert text.count("\r") == 2, "each draw must rewind the line"
+    assert "\n" not in text[:-1] and text.endswith("\n"), \
+        "only the final summary may advance the line"
+    final_chunk = text.rsplit("\r", 1)[1]
+    assert len(final_chunk.rstrip("\n")) >= long_len, \
+        "shorter redraw must blank the previous line's tail"
+
+
+def test_non_tty_writes_plain_lines():
+    reporter, stream, _ = _reporter(force=True)
+    reporter.advance(10)
+    reporter.finish()
+    text = stream.getvalue()
+    assert "\r" not in text
+    assert len(text.splitlines()) == 2
+
+
+def test_broken_flush_is_tolerated():
+    class NoFlush(io.StringIO):
+        def flush(self):
+            raise OSError("gone")
+
+    reporter = ProgressReporter(total=1, stream=NoFlush(), force=True,
+                                clock=FakeClock())
+    reporter.advance(1)  # must not raise
+    reporter.finish()
