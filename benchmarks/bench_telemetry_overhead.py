@@ -12,13 +12,16 @@ Trials are interleaved and the minimum per mode is compared, which
 cancels warm-up and scheduler noise; on this workload the two loops are
 within measurement jitter of each other.
 
-Two more modes are measured: metrics enabled (reference, not asserted)
-and metrics enabled *with timeline recording* (the ``--trace-out``
-path, where every span also lands a begin/end event pair in the ring
-buffer).  Recording must stay under a 15 % slowdown against the
-no-telemetry baseline -- in practice the ring append is a tuple build
-plus a list store and the marginal cost sits inside measurement jitter.
-All four numbers land in ``benchmarks/results/telemetry_overhead.txt``.
+Three more modes are measured: metrics enabled (reference, not
+asserted), metrics enabled *with per-read exemplar sampling* (the
+``--slowlog`` path: every read takes a stats-dict delta, a reservoir
+offer and a wall-time histogram observe), and metrics enabled *with
+timeline recording* (the ``--trace-out`` path, where every span also
+lands a begin/end event pair in the ring buffer).  Exemplar sampling
+must stay under a 5 % slowdown against plain enabled mode, and
+recording under a 15 % slowdown against the no-telemetry baseline --
+in practice the marginal costs sit inside measurement jitter.  All
+five numbers land in ``benchmarks/results/telemetry_overhead.txt``.
 """
 
 import time
@@ -28,6 +31,7 @@ from conftest import record_result
 from repro import telemetry
 from repro.analysis import format_table
 from repro.core import ErtSeedingEngine
+from repro.parallel.scheduler import instrumented_seed_read
 from repro.seeding.algorithm import (
     SeedingResult,
     generate_smems,
@@ -38,6 +42,7 @@ from repro.seeding.algorithm import (
 from repro.seeding import seed_read
 
 MAX_OVERHEAD = 0.03
+MAX_EXEMPLAR_OVERHEAD = 0.05
 MAX_RECORDING_OVERHEAD = 0.15
 N_TRIALS = 7
 
@@ -79,15 +84,22 @@ def test_disabled_telemetry_overhead(ert_index, reads, params):
     assert telemetry.registry().is_empty, \
         "disabled-mode seeding leaked metrics into the registry"
 
+    def _exemplar_seed_read(engine, read, params):
+        return instrumented_seed_read(engine, "r", read, params)
+
     telemetry.enable()
-    enabled = recording = float("inf")
+    enabled = exemplar = recording = float("inf")
     for _ in range(N_TRIALS):
         enabled = min(enabled, _time_batch(seed_read, engine, workload,
                                            params))
+        exemplar = min(exemplar, _time_batch(_exemplar_seed_read, engine,
+                                             workload, params))
         telemetry.start_recording()
         recording = min(recording, _time_batch(seed_read, engine,
                                                workload, params))
         telemetry.stop_recording()
+    assert not telemetry.exemplars().is_empty, \
+        "exemplar mode sampled no reads"
     assert len(telemetry.recorder()) > 0, \
         "recording mode produced no timeline events"
     telemetry.stop_recording()
@@ -96,6 +108,7 @@ def test_disabled_telemetry_overhead(ert_index, reads, params):
     telemetry.reset()
 
     overhead = instrumented / baseline - 1.0
+    exemplar_overhead = exemplar / enabled - 1.0
     recording_overhead = recording / baseline - 1.0
     n = len(workload)
     table = format_table(
@@ -105,6 +118,8 @@ def test_disabled_telemetry_overhead(ert_index, reads, params):
           f"{instrumented / baseline:.3f}x"],
          ["instrumented, enabled", enabled, n / enabled,
           f"{enabled / baseline:.3f}x"],
+         ["enabled + read exemplars", exemplar, n / exemplar,
+          f"{exemplar / baseline:.3f}x"],
          ["enabled + timeline recording", recording, n / recording,
           f"{recording / baseline:.3f}x"]],
         title=f"telemetry overhead on ERT seeding "
@@ -114,6 +129,10 @@ def test_disabled_telemetry_overhead(ert_index, reads, params):
         f"disabled telemetry costs {overhead * 100:.1f}% "
         f"(limit {MAX_OVERHEAD * 100:.0f}%): {instrumented:.4f}s vs "
         f"baseline {baseline:.4f}s")
+    assert exemplar_overhead < MAX_EXEMPLAR_OVERHEAD, (
+        f"exemplar sampling costs {exemplar_overhead * 100:.1f}% over "
+        f"enabled mode (limit {MAX_EXEMPLAR_OVERHEAD * 100:.0f}%): "
+        f"{exemplar:.4f}s vs enabled {enabled:.4f}s")
     assert recording_overhead < MAX_RECORDING_OVERHEAD, (
         f"timeline recording costs {recording_overhead * 100:.1f}% "
         f"(limit {MAX_RECORDING_OVERHEAD * 100:.0f}%): {recording:.4f}s "

@@ -167,7 +167,9 @@ class RawClockRule(Rule):
     title = "raw clock call outside repro.telemetry"
     rationale = "all stage timing flows through the span tracer"
     scope = ("repro",)
-    exclude_scope = ("repro.telemetry",)
+    # repro.logging timestamps its records and rate-limits on a
+    # monotonic clock; like the telemetry package it owns its clocks.
+    exclude_scope = ("repro.telemetry", "repro.logging")
 
     def check(self, src: SourceFile) -> "Iterator[Violation]":
         for node in src.walk():
@@ -233,10 +235,10 @@ class IntegerAccountingRule(Rule):
 # ----------------------------------------------------------------------
 
 _PACKAGES = (
-    "repro.sequence", "repro.telemetry", "repro.memsim", "repro.seeding",
-    "repro.core", "repro.fmindex", "repro.extend", "repro.parallel",
-    "repro.accel", "repro.analysis", "repro.baselines", "repro.checks",
-    "repro.ledger", "repro.cli",
+    "repro.sequence", "repro.telemetry", "repro.logging", "repro.memsim",
+    "repro.seeding", "repro.core", "repro.fmindex", "repro.extend",
+    "repro.parallel", "repro.accel", "repro.analysis", "repro.baselines",
+    "repro.checks", "repro.ledger", "repro.cli",
 )
 
 
@@ -257,6 +259,9 @@ def _everything_but(*allowed: str) -> "tuple[str, ...]":
 _LAYERING: "dict[str, tuple[str, ...]]" = {
     "repro.sequence": _everything_but("repro.sequence"),
     "repro.telemetry": _everything_but("repro.telemetry"),
+    # The structured logger is a pure leaf: subsystems emit through it,
+    # it depends on nothing (not even telemetry).
+    "repro.logging": _everything_but("repro.logging"),
     "repro.memsim": _everything_but("repro.memsim", "repro.telemetry"),
     "repro.seeding": _everything_but(
         "repro.seeding", "repro.sequence", "repro.telemetry")
@@ -641,6 +646,61 @@ class DirectOutputRule(Rule):
                     f"(docs/observability.md)")
 
 
+# ----------------------------------------------------------------------
+# ERT011 -- stdlib logging in library code
+# ----------------------------------------------------------------------
+
+#: Stdlib ``logging`` entry points that configure or write through the
+#: process-global root-handler machinery.
+_STDLIB_LOGGING_CALLS = frozenset({
+    "logging.basicConfig", "logging.getLogger", "logging.Logger",
+    "logging.debug", "logging.info", "logging.warning", "logging.warn",
+    "logging.error", "logging.exception", "logging.critical",
+    "logging.log", "logging.disable", "logging.captureWarnings",
+    "logging.setLoggerClass", "logging.addLevelName",
+    "logging.config.dictConfig", "logging.config.fileConfig",
+    "logging.config.listen",
+})
+
+
+@register
+class StdlibLoggingRule(Rule):
+    """ERT011: operational events route through :mod:`repro.logging`.
+
+    The stdlib ``logging`` module is one process-global tree of loggers
+    and handlers, configured by whoever calls ``basicConfig`` first --
+    import-order-sensitive global state of exactly the kind this
+    repository bans (compare ERT002's global RNG).  It also writes to
+    stderr by default, bypassing ERT010's console discipline, and its
+    records are unstructured text.  Library code emits operational
+    events through :mod:`repro.logging` (structured JSONL,
+    rate-limited, off unless the CLI turns it on) instead.
+    """
+
+    id = "ERT011"
+    title = "stdlib logging used in library code"
+    rationale = ("the root-handler tree is import-order-sensitive global "
+                 "state and writes unstructured text to stderr; "
+                 "repro.logging is the structured, rate-limited path")
+    scope = ("repro",)
+
+    def check(self, src: SourceFile) -> "Iterator[Violation]":
+        for node in src.walk():
+            if not isinstance(node, ast.Call):
+                continue
+            qual = src.qualified_name(node.func)
+            if qual is None:
+                continue
+            if (qual in _STDLIB_LOGGING_CALLS
+                    or qual.startswith("logging.root.")):
+                yield src.violation(
+                    self.id, node,
+                    f"{qual}() configures or writes through the stdlib "
+                    f"logging root handlers; emit structured events "
+                    f"through repro.logging instead "
+                    f"(docs/observability.md)")
+
+
 __all__ = [
     "DirectOutputRule",
     "FootgunRule",
@@ -649,6 +709,7 @@ __all__ = [
     "ImportLayeringRule",
     "IntegerAccountingRule",
     "RawClockRule",
+    "StdlibLoggingRule",
     "SwallowedPoolFailureRule",
     "UnseededRandomRule",
     "WorkerLifecycleRule",

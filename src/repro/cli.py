@@ -8,7 +8,10 @@ align many times):
 * ``index-stats``  -- census of a persisted index (Fig 8 / §III-A3 data);
 * ``seed``         -- three-round seeding, one TSV line per seed;
 * ``align``        -- full pipeline to SAM;
-* ``report``       -- render a saved telemetry snapshot as a profile;
+* ``report``       -- render a saved telemetry snapshot as a profile
+  (or re-export it as OpenMetrics text with ``--format openmetrics``);
+* ``explain``      -- replay one read through the serial engine with
+  full instrumentation and print its cost attribution;
 * ``check``        -- run the repository's static-analysis rules
   (:mod:`repro.checks`, see docs/static_analysis.md);
 * ``ledger``       -- record benchmark runs and gate on throughput
@@ -16,11 +19,16 @@ align many times):
 
 ``seed``, ``align``, ``align-pe`` and ``compare`` take ``--profile``
 (print a per-stage wall-clock/counter report), ``--metrics-out FILE``
-(write the full telemetry snapshot as JSON, consumable by ``report``)
-and ``--trace-out FILE`` (record a timeline and write Chrome/Perfetto
-``trace_event`` JSON -- open it at https://ui.perfetto.dev).  The
-read-driven commands also take ``--progress`` (a rate-limited stderr
-heartbeat: reads/s, batches in flight, crashes survived, ETA).
+(write the full telemetry snapshot; ``--metrics-format openmetrics``
+switches the file from JSON to Prometheus-scrapable OpenMetrics text),
+``--slowlog FILE`` (append the per-read exemplar sample -- reservoir
+plus top-K slowest -- as JSONL), ``--log-jsonl FILE`` /
+``--log-level`` (structured operational logs: scheduler, fault
+recovery, shared-memory lifecycle) and ``--trace-out FILE`` (record a
+timeline and write Chrome/Perfetto ``trace_event`` JSON -- open it at
+https://ui.perfetto.dev).  The read-driven commands also take
+``--progress`` (a rate-limited stderr heartbeat: reads/s, batches in
+flight, crashes survived, ETA).
 
 ``seed``, ``align``, ``align-pe`` and ``compare`` take ``--workers N``
 and ``--batch-size M``: reads stream through the :mod:`repro.parallel`
@@ -39,10 +47,12 @@ does is equally available programmatically.
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 import zlib
 
+from repro import logging as repro_logging
 from repro import telemetry
 from repro.checks import cli as checks_cli
 from repro.ledger import cli as ledger_cli
@@ -144,6 +154,32 @@ def build_parser() -> argparse.ArgumentParser:
                        "file) as a per-stage profile")
     report.add_argument("--metrics", required=True,
                         help="JSON file written by --metrics-out")
+    report.add_argument("--format", choices=("profile", "openmetrics"),
+                        default="profile",
+                        help="profile (default, human-readable tables) or "
+                             "openmetrics (Prometheus exposition text)")
+
+    explain = sub.add_parser(
+        "explain",
+        help="replay one read from a FASTQ through the serial engine "
+             "with full instrumentation and print where its time went")
+    explain.add_argument("--index", required=True)
+    explain.add_argument("--reads", required=True,
+                         help="FASTQ holding the read to replay")
+    explain.add_argument("--read-id", required=True,
+                         help="read name as shown in the slowlog / "
+                              "exemplar tables")
+    explain.add_argument("--task", choices=("seed", "align"),
+                         default="seed")
+    explain.add_argument("--min-seed-len", type=int, default=19)
+    explain.add_argument("--max-hits", type=int, default=500)
+    explain.add_argument(
+        "--slowlog", default=None, metavar="FILE",
+        help="cross-check the replayed counters against this slowlog's "
+             "recorded entry for the read (non-zero exit on mismatch)")
+    explain.add_argument("--json", action="store_true", dest="as_json",
+                         help="emit the replayed record as JSON instead "
+                              "of tables")
 
     compare = sub.add_parser(
         "compare",
@@ -174,6 +210,24 @@ def _add_telemetry_args(parser) -> None:
     parser.add_argument(
         "--metrics-out", default=None, metavar="FILE",
         help="collect telemetry and write the snapshot as JSON")
+    parser.add_argument(
+        "--metrics-format", choices=("json", "openmetrics"),
+        default="json",
+        help="--metrics-out format: json (default, consumable by "
+             "'report') or openmetrics (Prometheus exposition text "
+             "with per-bucket exemplars)")
+    parser.add_argument(
+        "--slowlog", default=None, metavar="FILE",
+        help="sample per-read exemplars and append them (reservoir + "
+             "top-K slowest) to FILE as JSONL; feed any read id shown "
+             "there to 'ert-repro explain'")
+    parser.add_argument(
+        "--log-jsonl", default=None, metavar="FILE",
+        help="append structured operational logs (scheduler, fault "
+             "recovery, shared-memory lifecycle) to FILE as JSONL")
+    parser.add_argument(
+        "--log-level", choices=repro_logging.LEVELS, default="info",
+        help="minimum level for --log-jsonl (default info)")
     parser.add_argument(
         "--trace-out", default=None, metavar="FILE",
         help="record a timeline and write Chrome/Perfetto trace_event "
@@ -269,14 +323,34 @@ def _telemetry_begin(args) -> bool:
     """Enable telemetry for this command iff the user asked for output.
     Returns whether a metrics session is active (the default stays a
     true no-op).  ``--trace-out`` additionally starts timeline
-    recording, which is independent of the metrics flag."""
-    active = bool(args.profile or args.metrics_out)
+    recording, and ``--log-jsonl`` opens the structured-log sink; both
+    are independent of the metrics flag."""
+    active = bool(args.profile or args.metrics_out or args.slowlog)
     if active:
         telemetry.reset()
         telemetry.enable()
+    if args.log_jsonl:
+        repro_logging.configure(path=args.log_jsonl,
+                                level=args.log_level)
     if args.trace_out:
         telemetry.start_recording()
     return active
+
+
+def _write_slowlog(path, exemplars: dict) -> None:
+    """Append the sampled exemplar records as JSONL, slowlog entries
+    first (they are what ``explain`` cross-checks against)."""
+    seen = set()
+    with open(path, "a") as handle:
+        for source in ("slowest", "reservoir"):
+            for rec in exemplars.get(source, []):
+                key = (rec["read_id"], rec.get("task"), rec["wall_ms"])
+                if key in seen:
+                    continue
+                seen.add(key)
+                record = {"source": source}
+                record.update(rec)
+                handle.write(json.dumps(record, sort_keys=True) + "\n")
 
 
 def _telemetry_finish(args, active: bool, title: str,
@@ -286,14 +360,28 @@ def _telemetry_finish(args, active: bool, title: str,
         telemetry.write_trace(args.trace_out, telemetry.current_trace())
         print(f"wrote timeline trace to {args.trace_out} "
               f"(open at https://ui.perfetto.dev)", file=sys.stderr)
+    if args.log_jsonl:
+        repro_logging.shutdown()
     if not active:
         return
     telemetry.disable()
     snap = telemetry.snapshot()
     if args.metrics_out:
-        telemetry.write_json(args.metrics_out, snap)
-        print(f"wrote telemetry snapshot to {args.metrics_out}",
-              file=sys.stderr)
+        if args.metrics_format == "openmetrics":
+            with open(args.metrics_out, "w") as handle:
+                handle.write(telemetry.render_openmetrics(snap))
+            print(f"wrote OpenMetrics exposition to {args.metrics_out}",
+                  file=sys.stderr)
+        else:
+            telemetry.write_json(args.metrics_out, snap)
+            print(f"wrote telemetry snapshot to {args.metrics_out}",
+                  file=sys.stderr)
+    if args.slowlog:
+        exemplars = snap.get("exemplars", {})
+        _write_slowlog(args.slowlog, exemplars)
+        print(f"wrote {len(exemplars.get('slowest', []))} slowlog + "
+              f"{len(exemplars.get('reservoir', []))} reservoir "
+              f"exemplars to {args.slowlog}", file=sys.stderr)
     if args.profile:
         print(telemetry.render_profile(snap, title=title),
               file=profile_stream or sys.stdout)
@@ -481,8 +569,108 @@ def _cmd_align_pe(args) -> int:
 
 def _cmd_report(args) -> int:
     snap = telemetry.load_snapshot(args.metrics)
+    if args.format == "openmetrics":
+        sys.stdout.write(telemetry.render_openmetrics(snap))
+        return 0
     print(telemetry.render_profile(snap, title=f"telemetry report "
                                                f"({args.metrics})"))
+    return 0
+
+
+def _explain_replay(args, read) -> "dict | None":
+    """Replay ``read`` through the serial engine exactly as the batch
+    scheduler would run it and return the captured exemplar record."""
+    from repro.extend.pipeline import ReadAligner
+    from repro.parallel.scheduler import (
+        instrumented_align_sam,
+        instrumented_seed_read,
+    )
+
+    # Mirror the CLI seeding path: the scheduler builds the engine with
+    # gather_limit=500 and the per-seed hit cap rides in SeedingParams.
+    engine = ErtSeedingEngine(load_index_cached(args.index),
+                              gather_limit=500)
+    telemetry.reset()
+    telemetry.enable()
+    try:
+        engine.reset_stats()
+        engine.begin_batch([read.codes])
+        if args.task == "seed":
+            params = SeedingParams(min_seed_len=args.min_seed_len,
+                                   max_hits_per_seed=args.max_hits)
+            instrumented_seed_read(engine, read.name, read.codes, params)
+        else:
+            params = SeedingParams(min_seed_len=args.min_seed_len)
+            aligner = ReadAligner(engine.index.reference, engine,
+                                  params=params)
+            instrumented_align_sam(aligner, read.codes, read.name,
+                                   read.quality)
+        snap = telemetry.snapshot()
+    finally:
+        telemetry.disable()
+    slowest = snap.get("exemplars", {}).get("slowest", [])
+    return slowest[0] if slowest else None
+
+
+def _load_slowlog_entry(path, read_id: str, task: str) -> "dict | None":
+    entry = None
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            if record.get("read_id") == read_id and \
+                    record.get("task") == task:
+                entry = record
+    return entry
+
+
+def _cmd_explain(args) -> int:
+    reads = [r for r in read_fastq(args.reads) if r.name == args.read_id]
+    if not reads:
+        print(f"read {args.read_id!r} not found in {args.reads}",
+              file=sys.stderr)
+        return 2
+    rec = _explain_replay(args, reads[0])
+    if rec is None:
+        print("replay recorded no exemplar (telemetry disabled?)",
+              file=sys.stderr)
+        return 2
+    if args.as_json:
+        print(json.dumps(rec, sort_keys=True))
+    else:
+        counters = rec.get("counters", {})
+        print(f"read {rec['read_id']} ({rec['task']}): "
+              f"{rec['wall_ms']:.3f} ms replayed wall time")
+        width = max([len(k) for k in counters] or [7])
+        for name, value in sorted(counters.items(),
+                                  key=lambda kv: (-kv[1], kv[0])):
+            print(f"  {name.ljust(width)}  {value:,}")
+    if not args.slowlog:
+        return 0
+    recorded = _load_slowlog_entry(args.slowlog, args.read_id,
+                                   rec["task"])
+    if recorded is None:
+        print(f"no {rec['task']} entry for {args.read_id!r} in "
+              f"{args.slowlog}", file=sys.stderr)
+        return 2
+    mismatches = []
+    replayed = rec.get("counters", {})
+    for name in sorted(set(replayed) | set(recorded.get("counters", {}))):
+        want = recorded.get("counters", {}).get(name, 0)
+        got = replayed.get(name, 0)
+        if want != got:
+            mismatches.append(f"  {name}: recorded {want:,} != "
+                              f"replayed {got:,}")
+    if mismatches:
+        print(f"counter mismatch against {args.slowlog}:",
+              file=sys.stderr)
+        print("\n".join(mismatches), file=sys.stderr)
+        return 1
+    print(f"replay matches the slowlog record exactly "
+          f"({len(replayed)} counters; recorded wall "
+          f"{recorded['wall_ms']:.3f} ms)", file=sys.stderr)
     return 0
 
 
@@ -556,6 +744,7 @@ _COMMANDS = {
     "align": _cmd_align,
     "align-pe": _cmd_align_pe,
     "report": _cmd_report,
+    "explain": _cmd_explain,
     "compare": _cmd_compare,
     "check": checks_cli.run,
     "ledger": ledger_cli.run,

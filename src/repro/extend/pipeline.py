@@ -80,6 +80,10 @@ class ReadAligner:
         # One workspace per aligner: the SW kernel's row buffers are
         # reused across every extension instead of allocated per call.
         self._sw_workspace = SwWorkspace()
+        #: Per-read counters for the most recent SAM alignment, populated
+        #: only while telemetry is enabled.  The parallel scheduler folds
+        #: these into the read's exemplar record.
+        self.read_stats: "dict[str, int]" = {}
 
     def align(self, read: np.ndarray,
               name: str = "read") -> AlignmentOutcome:
@@ -103,6 +107,17 @@ class ReadAligner:
                                       mapped=best is not None)
         return AlignmentOutcome(alignment=best, n_seeds=len(seeds),
                                 n_chains=len(chains), workload=workload)
+
+    def _begin_read_stats(self, seeds, chains) -> None:
+        if not telemetry.enabled():
+            return
+        self.read_stats = {
+            "seeds": len(seeds),
+            "seed_hits": sum(s.hit_count for s in seeds),
+            "chains": len(chains),
+            "sw_extensions": 0,
+            "sw_cells": 0,
+        }
 
     def _record_read_metrics(self, n_seeds: int, n_chains: int,
                              mapped: bool) -> None:
@@ -173,6 +188,7 @@ class ReadAligner:
             result = seed_read(self.engine, read, self.params)
             with telemetry.span("chain"):
                 chains = chain_seeds(result.all_seeds)
+            self._begin_read_stats(result.all_seeds, chains)
             quality = quality or "I" * int(read.size)
             candidates = []
             with telemetry.span("extend"):
@@ -202,6 +218,7 @@ class ReadAligner:
             result = seed_read(self.engine, read, self.params)
             with telemetry.span("chain"):
                 chains = chain_seeds(result.all_seeds)
+            self._begin_read_stats(result.all_seeds, chains)
             quality = quality or "I" * int(read.size)
             candidates = []
             with telemetry.span("extend"):
@@ -246,6 +263,10 @@ class ReadAligner:
             telemetry.observe("align.band_bp", self.band)
             telemetry.observe("align.window_bp", int(window.size))
             telemetry.count("align.sw_extensions")
+            stats = self.read_stats
+            stats["sw_extensions"] = stats.get("sw_extensions", 0) + 1
+            stats["sw_cells"] = (stats.get("sw_cells", 0)
+                                 + int(window.size) * self.band)
         traced = banded_sw_traceback(read, window, self.scheme, self.band)
         if not traced.is_aligned:
             return None

@@ -43,6 +43,7 @@ Fault model (see :mod:`repro.parallel.faults` and docs/performance.md):
 
 from __future__ import annotations
 
+import multiprocessing
 import os
 import time
 import warnings
@@ -54,6 +55,7 @@ from pickle import PicklingError
 from typing import Any, Callable, Iterable, Iterator, Sequence, Tuple
 
 from repro import telemetry
+from repro.logging import get_logger
 from repro.core.engine import ErtSeedingEngine
 from repro.core.index import ErtIndex
 from repro.extend.paired import PairedAligner
@@ -82,6 +84,10 @@ BatchResult = Tuple[Any, "dict[str, int]", "dict[str, Any] | None"]
 
 EngineSpec = Tuple[Any, ...]
 
+#: Structured operational events (pool lifecycle, faults, degradation);
+#: a no-op unless the run configured `repro.logging` (--log-jsonl).
+_log = get_logger("parallel.scheduler")
+
 
 @dataclass(frozen=True)
 class ParallelConfig:
@@ -103,6 +109,11 @@ class ParallelConfig:
     batch_timeout: "float | None" = None
     backoff_s: float = 0.05
     backoff_factor: float = 2.0
+    #: Multiprocessing start method for the pool ("fork"/"spawn"/
+    #: "forkserver"); None defers to the platform default.  Output and
+    #: merged telemetry are identical either way -- spawn just pays a
+    #: slower worker boot, which the fault/exemplar tests exercise.
+    start_method: "str | None" = None
 
     def resolved_workers(self) -> int:
         if self.workers is not None:
@@ -137,6 +148,80 @@ def default_workers() -> int:
 
 
 # ----------------------------------------------------------------------
+# Per-read exemplar capture
+# ----------------------------------------------------------------------
+#
+# Capture lives here, not inside seed_read()/align_sam(): the runners
+# are the one place that knows the read *name* (the exemplar identity)
+# and runs identically on the serial fast path and inside pool workers.
+# Each helper costs exactly one telemetry flag check when disabled and
+# never touches the payload, so output stays byte-identical with
+# exemplars on or off.
+
+
+def _read_counter_delta(engine: SeedingEngine,
+                        before: "dict[str, int]") -> "dict[str, int]":
+    after = engine.stats.as_dict()
+    return {name: value - before.get(name, 0)
+            for name, value in after.items()}
+
+
+def instrumented_seed_read(engine: SeedingEngine, name: str, read: Any,
+                           params: SeedingParams) -> Any:
+    """``seed_read`` plus per-read exemplar capture: engine counter
+    deltas, seed/hit totals, and memsim bytes when a memory tracer is
+    attached to the engine's index (``ert-repro explain`` reuses this
+    exact helper, which is what makes its replayed counters comparable
+    to the recorded record field-for-field)."""
+    probe = telemetry.read_probe()
+    if probe is None:
+        return seed_read(engine, read, params)
+    before = engine.stats.as_dict()
+    tracer = getattr(getattr(engine, "index", None), "tracer", None)
+    bytes_before = tracer.total_bytes if tracer is not None else 0
+    result = seed_read(engine, read, params)
+    counters = _read_counter_delta(engine, before)
+    counters["seeds"] = len(result.all_seeds)
+    counters["seed_hits"] = sum(s.hit_count for s in result.all_seeds)
+    if tracer is not None:
+        counters["memsim_bytes"] = tracer.total_bytes - bytes_before
+    telemetry.record_read(probe, name, counters, task="seed")
+    return result
+
+
+def instrumented_align_sam(aligner: ReadAligner, read: Any, name: str,
+                           quality: str) -> SamRecord:
+    """``ReadAligner.align_sam`` plus per-read exemplar capture (engine
+    deltas + the aligner's per-read extension stats: SW cells, seeds,
+    chains)."""
+    probe = telemetry.read_probe()
+    if probe is None:
+        return aligner.align_sam(read, name, quality)
+    before = aligner.engine.stats.as_dict()
+    record = aligner.align_sam(read, name, quality)
+    counters = _read_counter_delta(aligner.engine, before)
+    counters.update(aligner.read_stats)
+    telemetry.record_read(probe, name, counters, task="align")
+    return record
+
+
+def instrumented_align_pair(paired: PairedAligner, read1: Any, read2: Any,
+                            name: str, quality1: str,
+                            quality2: str) -> "list[SamRecord]":
+    """``PairedAligner.align_pair`` plus one exemplar per *pair* (the
+    scheduling unit of the paired path)."""
+    probe = telemetry.read_probe()
+    if probe is None:
+        return paired.align_pair(read1, read2, name, quality1, quality2)
+    engine = paired.aligner.engine
+    before = engine.stats.as_dict()
+    records = paired.align_pair(read1, read2, name, quality1, quality2)
+    counters = _read_counter_delta(engine, before)
+    telemetry.record_read(probe, name, counters, task="align-pe")
+    return records
+
+
+# ----------------------------------------------------------------------
 # Per-batch task runners (constructed inside each worker)
 # ----------------------------------------------------------------------
 
@@ -155,7 +240,8 @@ class _SeedRunner:
         engine.begin_batch(reads)
         lines: "list[str]" = []
         for name, read in zip(batch.names, reads):
-            result = seed_read(engine, read, self.params)
+            result = instrumented_seed_read(engine, name, read,
+                                            self.params)
             for seed in result.all_seeds:
                 hits = ",".join(str(h) for h in seed.hits)
                 lines.append(f"{name}\t{seed.read_start}\t{seed.length}"
@@ -175,7 +261,7 @@ class _AlignRunner:
     def __call__(self, batch: ReadBatch) -> "list[SamRecord]":
         reads = batch.reads()
         self.aligner.engine.begin_batch(reads)
-        return [self.aligner.align_sam(read, name, quality)
+        return [instrumented_align_sam(self.aligner, read, name, quality)
                 for name, quality, read
                 in zip(batch.names, batch.qualities, reads)]
 
@@ -197,8 +283,8 @@ class _AlignPairsRunner:
         records: "list[SamRecord]" = []
         for i in range(0, len(reads), 2):
             name = batch.names[i].split("/")[0]
-            records.extend(self.paired.align_pair(
-                reads[i], reads[i + 1], name,
+            records.extend(instrumented_align_pair(
+                self.paired, reads[i], reads[i + 1], name,
                 batch.qualities[i], batch.qualities[i + 1]))
         return records
 
@@ -362,22 +448,32 @@ class _PoolManager:
 
     def __init__(self, workers: int, spec: EngineSpec, task: str,
                  options: "dict[str, Any]", telemetry_on: bool,
-                 events_epoch: "int | None" = None) -> None:
+                 events_epoch: "int | None" = None,
+                 start_method: "str | None" = None) -> None:
         self._workers = workers
+        self._task = task
         self._initargs = (spec, task, options, telemetry_on, events_epoch)
+        self._start_method = start_method
         self._pool: "ProcessPoolExecutor | None" = None
 
     def spawn(self) -> None:
         try:
+            mp_context = (multiprocessing.get_context(self._start_method)
+                          if self._start_method is not None else None)
             self._pool = ProcessPoolExecutor(
-                max_workers=self._workers, initializer=_worker_init,
-                initargs=self._initargs)
+                max_workers=self._workers, mp_context=mp_context,
+                initializer=_worker_init, initargs=self._initargs)
             self._pool.submit(_worker_ready).result()
         except Exception as exc:
             self.kill()
+            _log.error("pool.unavailable", workers=self._workers,
+                       task=self._task, error=str(exc))
             raise PoolUnavailableError(
                 f"cannot build a working {self._workers}-worker pool: "
                 f"{exc}") from exc
+        _log.info("pool.spawn", workers=self._workers, task=self._task,
+                  start_method=(self._start_method
+                                or multiprocessing.get_start_method()))
 
     def submit(self, batch: ReadBatch,
                batch_index: int) -> "Future[BatchResult]":
@@ -495,6 +591,8 @@ def _degrade_to_serial(spec: EngineSpec, task: str,
         f"serial execution for {len(batches)} remaining batch(es)",
         RuntimeWarning, stacklevel=3)
     telemetry.count("parallel.fallback_serial")
+    _log.error("pool.degrade_serial", task=task, reason=str(cause),
+               remaining_batches=len(batches))
     return _serial_batches(_fallback_engine(spec), task, options, batches)
 
 
@@ -511,7 +609,8 @@ def _pool_map(spec: EngineSpec, task: str, options: "dict[str, Any]",
     # system-wide on the platforms we run on).
     events_epoch = recorder.epoch_ns if recorder.recording else None
     manager = _PoolManager(workers, spec, task, options,
-                           telemetry.enabled(), events_epoch)
+                           telemetry.enabled(), events_epoch,
+                           start_method=config.start_method)
     try:
         manager.spawn()
     except PoolUnavailableError as exc:
@@ -552,6 +651,9 @@ def _pool_map(spec: EngineSpec, task: str, options: "dict[str, Any]",
             recorder.instant("parallel.fault",
                              {"batch": head.index,
                               "kind": type(failure).__name__})
+            _log.warn("batch.fault", batch=head.index,
+                      kind=type(failure).__name__, attempt=head.failures,
+                      retryable=failure.retryable, error=str(failure))
             if isinstance(failure, BatchTimeoutError):
                 telemetry.count("parallel.batch_timeouts")
             elif isinstance(failure, WorkerCrashError):
@@ -565,6 +667,9 @@ def _pool_map(spec: EngineSpec, task: str, options: "dict[str, Any]",
                 telemetry.count("parallel.pool_respawns")
                 time.sleep(policy.delay(head.failures))
                 recorder.instant("parallel.respawn", {"workers": workers})
+                _log.info("pool.respawn", workers=workers,
+                          after_batch=head.index,
+                          backoff_s=policy.delay(head.failures))
                 try:
                     manager.respawn()
                 except PoolUnavailableError as exc:

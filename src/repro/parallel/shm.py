@@ -28,6 +28,9 @@ from multiprocessing import resource_tracker, shared_memory
 
 from repro.core.index import ErtIndex
 from repro.core.io import index_from_buffer, index_to_buffer
+from repro.logging import get_logger
+
+_log = get_logger("parallel.shm")
 
 #: Segments created by this process that are not yet unlinked, by name.
 #: The atexit sweep below is a *guard*, not the cleanup path: normal
@@ -41,6 +44,7 @@ def _sweep_live_segments() -> None:
     it, a run killed between creation and cleanup leaves the payload in
     ``/dev/shm`` until reboot."""
     for owner in list(_LIVE_SEGMENTS.values()):
+        _log.warn("shm.sweep", segment=owner.name, size=owner.size)
         try:
             owner.close()
             owner.unlink()
@@ -76,6 +80,7 @@ class SharedIndexBuffer:
         #: Logical payload size (the kernel may round the segment up).
         self.size: int = len(payload)
         _LIVE_SEGMENTS[self.name] = self
+        _log.info("shm.create", segment=self.name, size=self.size)
 
     def close(self) -> None:
         """Drop the parent's mapping (the segment itself survives)."""
@@ -89,6 +94,7 @@ class SharedIndexBuffer:
             _LIVE_SEGMENTS.pop(self.name, None)
             shm, self._shm = self._shm, None
             shm.unlink()
+            _log.info("shm.unlink", segment=self.name)
 
     def __enter__(self) -> "SharedIndexBuffer":
         return self

@@ -33,14 +33,20 @@ Typical use::
 from __future__ import annotations
 
 from repro.telemetry.events import TimelineRecorder, trace_document
+from repro.telemetry.exemplars import (
+    READ_WALL_MS_EDGES,
+    ExemplarCollector,
+)
 from repro.telemetry.export import (
     load_snapshot,
     render_profile,
+    render_slowlog,
     render_spans,
     write_json,
     write_jsonl,
     write_trace,
 )
+from repro.telemetry.openmetrics import parse_openmetrics, render_openmetrics
 from repro.telemetry.metrics import (
     DEFAULT_EDGES,
     Counter,
@@ -56,11 +62,13 @@ from repro.telemetry.spans import NoopSpan, SpanStat, Tracer
 __all__ = [
     "Counter",
     "DEFAULT_EDGES",
+    "ExemplarCollector",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "NoopSpan",
     "ProgressReporter",
+    "READ_WALL_MS_EDGES",
     "SpanStat",
     "TimelineRecorder",
     "Tracer",
@@ -72,14 +80,20 @@ __all__ = [
     "drain_timeline",
     "enable",
     "enabled",
+    "exemplars",
     "instant",
     "load_snapshot",
     "merge_snapshot",
     "observe",
+    "parse_openmetrics",
+    "read_probe",
+    "record_read",
     "recorder",
     "recording",
     "registry",
+    "render_openmetrics",
     "render_profile",
+    "render_slowlog",
     "render_spans",
     "reset",
     "sanitize",
@@ -106,6 +120,7 @@ _recorder = TimelineRecorder()
 #: The global tracer carries the timeline bridge: when recording is on,
 #: every span also lands B/E events in the recorder.
 _tracer = Tracer(events=_recorder)
+_exemplars = ExemplarCollector()
 _NOOP_SPAN = NoopSpan()
 
 
@@ -136,10 +151,17 @@ def tracer() -> Tracer:
     return _tracer
 
 
+def exemplars() -> ExemplarCollector:
+    """The process-wide per-read exemplar collector (reservoir sample
+    plus top-K slowlog; see :mod:`repro.telemetry.exemplars`)."""
+    return _exemplars
+
+
 def reset() -> None:
-    """Drop all recorded metrics and span aggregates."""
+    """Drop all recorded metrics, span aggregates and exemplars."""
     _registry.reset()
     _tracer.reset()
+    _exemplars.reset()
 
 
 def fork_reset() -> None:
@@ -151,6 +173,7 @@ def fork_reset() -> None:
     initializer restarts it on the parent's epoch when capture is on."""
     _registry.reset()
     _tracer.abandon()
+    _exemplars.reset()
     _recorder.fork_reset()
 
 
@@ -256,10 +279,39 @@ def observe(name: str, value: float,
         _registry.histogram(name, edges).observe(value)
 
 
+def read_probe() -> "int | None":
+    """Open a per-read exemplar probe: returns a clock token to pass to
+    :func:`record_read`, or ``None`` while telemetry is disabled (the
+    disabled path costs one flag check; callers skip their counter
+    bookkeeping entirely on ``None``)."""
+    if not _enabled:
+        return None
+    return _exemplars.start()
+
+
+def record_read(token: "int | None", read_id: str,
+                counters: "dict[str, int] | None" = None,
+                task: str = "seed") -> "dict | None":
+    """Close a :func:`read_probe`: capture the read's exemplar record
+    (reservoir + slowlog), observe its wall time into the
+    ``read.wall_ms`` histogram, and pin the record to that histogram
+    bucket as an OpenMetrics exemplar.  Returns the record, or ``None``
+    when the probe was disabled."""
+    if token is None or not _enabled:
+        return None
+    rec = _exemplars.record(read_id, token, counters, task=task)
+    hist = _registry.histogram("read.wall_ms", READ_WALL_MS_EDGES)
+    hist.observe(rec["wall_ms"])
+    hist.attach_exemplar(rec["wall_ms"], {"read_id": rec["read_id"]})
+    return rec
+
+
 def snapshot() -> dict:
     """Plain-data copy of everything recorded so far (JSON-ready)."""
     data = _registry.snapshot()
     data["spans"] = _tracer.snapshot()
+    if not _exemplars.is_empty:
+        data["exemplars"] = _exemplars.snapshot()
     return data
 
 
@@ -280,3 +332,6 @@ def merge_snapshot(data: dict, order: "int | None" = None) -> None:
         return
     _registry.merge_snapshot(data, order=order)
     _tracer.merge_snapshot(data.get("spans", {}))
+    worker_exemplars = data.get("exemplars")
+    if worker_exemplars:
+        _exemplars.merge(worker_exemplars)

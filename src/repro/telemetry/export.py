@@ -20,7 +20,8 @@ import json
 from repro.telemetry.metrics import bucket_percentile
 
 
-SNAPSHOT_KEYS = ("counters", "gauges", "histograms", "spans")
+SNAPSHOT_KEYS = ("counters", "gauges", "histograms", "spans",
+                 "exemplars")
 
 
 def write_json(path, snapshot: dict) -> None:
@@ -68,7 +69,11 @@ def load_snapshot(path) -> dict:
     if not isinstance(data, dict):
         raise ValueError(f"{path}: not a telemetry snapshot")
     for key in SNAPSHOT_KEYS:
-        data.setdefault(key, {})
+        # ``exemplars`` is an optional section -- snapshots carry it only
+        # when reads were sampled, so loading must not invent the key or
+        # write/load would stop round-tripping.
+        if key != "exemplars":
+            data.setdefault(key, {})
     return data
 
 
@@ -155,10 +160,10 @@ def render_profile(snapshot: dict, title: "str | None" = None) -> str:
                    else "-",
                    f"{hist['max']:g}" if hist["max"] is not None
                    else "-"]
-            for q in (0.50, 0.90, 0.99):
+            for q in (0.50, 0.90, 0.99, 0.999):
                 # Recompute from the buckets rather than trusting stored
-                # p50/p90/p99 keys, so snapshots written before the
-                # percentile columns existed still render.
+                # p50/p90/p99/p99.9 keys, so snapshots written before
+                # the percentile columns existed still render.
                 value = bucket_percentile(
                     hist["edges"], hist["counts"], count,
                     hist["min"], hist["max"], q)
@@ -166,5 +171,26 @@ def render_profile(snapshot: dict, title: "str | None" = None) -> str:
             rows.append(row)
         parts.append(_format_table(
             ["histogram", "samples", "mean", "min", "max", "p50", "p90",
-             "p99"], rows))
+             "p99", "p99.9"], rows))
+    exemplars = snapshot.get("exemplars", {})
+    if exemplars.get("slowest"):
+        parts.append("")
+        parts.append("== slowest reads (exemplar slowlog) ==")
+        parts.append(render_slowlog(exemplars))
     return "\n".join(parts)
+
+
+def render_slowlog(exemplars: dict, limit: int = 10) -> str:
+    """Table view of the exemplar slowlog: the top recorded reads by
+    wall time, with the counters that explain the cost.  Feed any read
+    id shown here to ``ert-repro explain`` for the full breakdown."""
+    rows = []
+    for rec in exemplars.get("slowest", [])[:limit]:
+        counters = rec.get("counters", {})
+        top = sorted(counters.items(), key=lambda kv: (-kv[1], kv[0]))[:3]
+        rows.append([rec["read_id"], rec.get("task", "-"),
+                     f"{rec['wall_ms']:,.3f}",
+                     " ".join(f"{k}={v:,}" for k, v in top) or "-"])
+    if not rows:
+        return "(no exemplars recorded)"
+    return _format_table(["read", "task", "wall ms", "top counters"], rows)

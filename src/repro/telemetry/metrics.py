@@ -62,7 +62,8 @@ class Histogram:
     overflow bucket, so ``len(counts) == len(edges) + 1``.
     """
 
-    __slots__ = ("edges", "counts", "count", "total", "min", "max")
+    __slots__ = ("edges", "counts", "count", "total", "min", "max",
+                 "exemplars")
 
     def __init__(self, edges: "tuple[float, ...] | None" = None) -> None:
         edges = tuple(edges) if edges is not None else DEFAULT_EDGES
@@ -76,6 +77,9 @@ class Histogram:
         self.total = 0.0
         self.min = None
         self.max = None
+        # Bucket index -> {"value": float, "labels": {...}}: one exemplar
+        # per bucket, latest wins (OpenMetrics exposition semantics).
+        self.exemplars: "dict[int, dict]" = {}
 
     def observe(self, value: float) -> None:
         self.counts[bisect_left(self.edges, value)] += 1
@@ -85,6 +89,16 @@ class Histogram:
             self.min = value
         if self.max is None or value > self.max:
             self.max = value
+
+    def attach_exemplar(self, value: float,
+                        labels: "dict[str, str]") -> None:
+        """Pin a labelled exemplar ("this specific read produced this
+        observation") to the bucket that ``value`` lands in.  Latest
+        write per bucket wins; exporters render it next to the bucket
+        line (OpenMetrics ``# {labels} value`` syntax)."""
+        self.exemplars[bisect_left(self.edges, value)] = {
+            "value": float(value),
+            "labels": {str(k): str(v) for k, v in labels.items()}}
 
     @property
     def mean(self) -> float:
@@ -116,9 +130,14 @@ class Histogram:
         if other_max is not None and (self.max is None
                                       or other_max > self.max):
             self.max = other_max
+        for bucket, exemplar in data.get("exemplars", {}).items():
+            # Incoming wins, matching attach_exemplar's latest-wins rule
+            # under the scheduler's in-submission-order merge.  JSON
+            # round-trips turn the int bucket keys into strings.
+            self.exemplars[int(bucket)] = exemplar
 
     def as_dict(self) -> dict:
-        return {
+        data = {
             "edges": list(self.edges),
             "counts": list(self.counts),
             "count": self.count,
@@ -128,7 +147,12 @@ class Histogram:
             "p50": self.percentile(0.50),
             "p90": self.percentile(0.90),
             "p99": self.percentile(0.99),
+            "p99.9": self.percentile(0.999),
         }
+        if self.exemplars:
+            data["exemplars"] = {str(bucket): exemplar for bucket,
+                                 exemplar in sorted(self.exemplars.items())}
+        return data
 
 
 def bucket_percentile(edges, counts, count, lo, hi, q) -> "float | None":

@@ -1,0 +1,310 @@
+"""OpenMetrics text exposition for telemetry snapshots.
+
+:func:`render_openmetrics` turns the plain-dict snapshot produced by
+:func:`repro.telemetry.snapshot` into the OpenMetrics 1.0 text format
+(the Prometheus exposition superset), so a run's metrics can be scraped,
+pushed to a Pushgateway, or diffed with standard tooling:
+
+* counters  -> ``<ns>_<name>_total``;
+* gauges    -> ``<ns>_<name>``;
+* histograms -> cumulative ``_bucket{le="..."}`` series plus ``_sum`` /
+  ``_count``, with per-bucket **exemplars** (``# {read_id="r17"} 3.2``)
+  carried over from :meth:`repro.telemetry.metrics.Histogram.
+  attach_exemplar`;
+* span aggregates -> ``<ns>_span_seconds_total`` / ``_calls_total``
+  labelled by span path.
+
+:func:`parse_openmetrics` is the matching *strict* validator -- stdlib
+only, used by the tests and the CI observability job to prove the
+exported text is well-formed (metadata before samples, family/sample
+name agreement, cumulative non-decreasing buckets, a ``+Inf`` bucket
+equal to ``_count``, exemplars only where the spec allows them, and the
+mandatory ``# EOF`` terminator).
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+#: Default metric namespace (the conventional "job prefix").
+NAMESPACE = "ert"
+
+_NAME_OK = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_METADATA = re.compile(
+    r"# (TYPE|HELP|UNIT) ([a-zA-Z_:][a-zA-Z0-9_:]*) (.*)$")
+_SAMPLE = re.compile(
+    r"([a-zA-Z_:][a-zA-Z0-9_:]*)"          # sample name
+    r"(\{[^{}]*\})?"                        # optional label set
+    r" ([+-]?(?:Inf|[0-9.eE+-]+)|NaN)"      # value
+    r"(?: (-?[0-9.eE+-]+))?"                # optional timestamp
+    r"(?: # (\{[^{}]*\}) ([+-]?(?:Inf|[0-9.eE+-]+)|NaN)"
+    r"(?: (-?[0-9.eE+-]+))?)?$")            # optional exemplar
+_LABEL = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+#: Sample-name suffixes each family type may expose.
+_ALLOWED_SUFFIXES = {
+    "counter": ("_total", "_created"),
+    "gauge": ("",),
+    "histogram": ("_bucket", "_count", "_sum", "_created"),
+}
+
+
+def metric_name(name: str, namespace: str = NAMESPACE) -> str:
+    """Map a dotted registry name to a legal OpenMetrics family name:
+    ``seeding.nodes_visited`` -> ``ert_seeding_nodes_visited``."""
+    flat = "".join(ch if ch.isalnum() else "_" for ch in name.lower())
+    flat = re.sub(r"_+", "_", flat).strip("_")
+    family = f"{namespace}_{flat}" if namespace else flat
+    if not _NAME_OK.match(family):
+        raise ValueError(f"cannot form a metric name from {name!r}")
+    return family
+
+
+def _escape_label(value: str) -> str:
+    return (value.replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
+def _labels(pairs: "dict[str, str]") -> str:
+    if not pairs:
+        return ""
+    body = ",".join(f'{key}="{_escape_label(str(value))}"'
+                    for key, value in pairs.items())
+    return "{" + body + "}"
+
+
+def _num(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if isinstance(value, int) or float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _exemplar_suffix(exemplar: "dict | None") -> str:
+    if not exemplar:
+        return ""
+    return (f" # {_labels(exemplar.get('labels', {}))}"
+            f" {_num(exemplar['value'])}")
+
+
+def render_openmetrics(snapshot: dict,
+                       namespace: str = NAMESPACE) -> str:
+    """Render a telemetry snapshot as OpenMetrics text (ends with the
+    mandatory ``# EOF\\n`` terminator)."""
+    lines: "list[str]" = []
+
+    for name, value in sorted(snapshot.get("counters", {}).items()):
+        family = metric_name(name, namespace)
+        lines.append(f"# TYPE {family} counter")
+        lines.append(f"# HELP {family} repro counter {name}")
+        lines.append(f"{family}_total {_num(value)}")
+
+    for name, value in sorted(snapshot.get("gauges", {}).items()):
+        family = metric_name(name, namespace)
+        lines.append(f"# TYPE {family} gauge")
+        lines.append(f"# HELP {family} repro gauge {name}")
+        lines.append(f"{family} {_num(value)}")
+
+    for name, hist in sorted(snapshot.get("histograms", {}).items()):
+        family = metric_name(name, namespace)
+        lines.append(f"# TYPE {family} histogram")
+        lines.append(f"# HELP {family} repro histogram {name}")
+        edges = list(hist["edges"])
+        counts = list(hist["counts"])
+        exemplars = {int(k): v
+                     for k, v in hist.get("exemplars", {}).items()}
+        cumulative = 0
+        for i, edge in enumerate(edges):
+            cumulative += counts[i]
+            lines.append(
+                f'{family}_bucket{{le="{_num(edge)}"}} {cumulative}'
+                + _exemplar_suffix(exemplars.get(i)))
+        total = cumulative + counts[len(edges)]
+        lines.append(f'{family}_bucket{{le="+Inf"}} {total}'
+                     + _exemplar_suffix(exemplars.get(len(edges))))
+        lines.append(f"{family}_count {total}")
+        lines.append(f"{family}_sum {_num(hist['total'])}")
+
+    spans = snapshot.get("spans", {})
+    if spans:
+        seconds = metric_name("span.seconds", namespace)
+        calls = metric_name("span.calls", namespace)
+        lines.append(f"# TYPE {seconds} counter")
+        lines.append(f"# HELP {seconds} total wall seconds per span path")
+        for path in sorted(spans):
+            lines.append(f'{seconds}_total{{path="{_escape_label(path)}"}}'
+                         f" {_num(spans[path]['total_s'])}")
+        lines.append(f"# TYPE {calls} counter")
+        lines.append(f"# HELP {calls} total calls per span path")
+        for path in sorted(spans):
+            lines.append(f'{calls}_total{{path="{_escape_label(path)}"}}'
+                         f" {_num(spans[path]['count'])}")
+
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+# ----------------------------------------------------------------------
+# Strict validation / parsing
+# ----------------------------------------------------------------------
+
+
+class OpenMetricsParseError(ValueError):
+    """Raised by :func:`parse_openmetrics` with the offending line."""
+
+    def __init__(self, lineno: int, line: str, reason: str) -> None:
+        super().__init__(f"line {lineno}: {reason}: {line!r}")
+        self.lineno = lineno
+        self.line = line
+        self.reason = reason
+
+
+def _parse_labels(text: "str | None") -> "dict[str, str]":
+    if not text:
+        return {}
+    body = text[1:-1]
+    if not body:
+        return {}
+    labels: "dict[str, str]" = {}
+    pos = 0
+    while pos < len(body):
+        match = _LABEL.match(body, pos)
+        if match is None:
+            raise ValueError(f"malformed label set {text!r}")
+        labels[match.group(1)] = match.group(2)
+        pos = match.end()
+        if pos < len(body):
+            if body[pos] != ",":
+                raise ValueError(f"malformed label set {text!r}")
+            pos += 1
+    return labels
+
+
+def _family_for(sample: str,
+                families: "dict[str, dict]") -> "tuple[str, str] | None":
+    """Resolve a sample name to (family, suffix); longest family wins so
+    ``x_bucket`` belongs to histogram ``x`` even if a family ``x_b``
+    exists."""
+    best: "tuple[str, str] | None" = None
+    for family, info in families.items():
+        for suffix in _ALLOWED_SUFFIXES[info["type"]]:
+            if sample == family + suffix:
+                if best is None or len(family) > len(best[0]):
+                    best = (family, suffix)
+    return best
+
+
+def parse_openmetrics(text: str) -> dict:
+    """Parse and strictly validate OpenMetrics text.
+
+    Returns ``{"families": {name: {"type", "help", "samples": [
+    {"name", "labels", "value", "exemplar"}]}}}``.  Raises
+    :class:`OpenMetricsParseError` on any structural violation.
+    """
+    if not text.endswith("\n"):
+        raise OpenMetricsParseError(0, "", "text must end with a newline")
+    lines = text.split("\n")[:-1]
+    if not lines or lines[-1] != "# EOF":
+        raise OpenMetricsParseError(len(lines), lines[-1] if lines else "",
+                                    "missing terminal # EOF line")
+    families: "dict[str, dict]" = {}
+    current: "str | None" = None
+    for lineno, line in enumerate(lines[:-1], start=1):
+        if not line:
+            raise OpenMetricsParseError(lineno, line, "blank line")
+        if line.startswith("#"):
+            meta = _METADATA.match(line)
+            if meta is None:
+                raise OpenMetricsParseError(
+                    lineno, line, "malformed comment (only TYPE/HELP/UNIT "
+                    "metadata comments are allowed)")
+            kind, family, payload = meta.groups()
+            if kind == "TYPE":
+                if payload not in _ALLOWED_SUFFIXES:
+                    raise OpenMetricsParseError(
+                        lineno, line, f"unsupported type {payload!r}")
+                if family in families:
+                    raise OpenMetricsParseError(
+                        lineno, line, f"duplicate TYPE for {family}")
+                families[family] = {"type": payload, "help": None,
+                                    "samples": []}
+                current = family
+            else:
+                if family not in families or family != current:
+                    raise OpenMetricsParseError(
+                        lineno, line,
+                        f"{kind} for {family} outside its TYPE block")
+                if kind == "HELP":
+                    families[family]["help"] = payload
+            continue
+        sample = _SAMPLE.match(line)
+        if sample is None:
+            raise OpenMetricsParseError(lineno, line, "malformed sample")
+        name, labeltext, value, _ts, ex_labels, ex_value, _ex_ts = \
+            sample.groups()
+        resolved = _family_for(name, families)
+        if resolved is None:
+            raise OpenMetricsParseError(
+                lineno, line, f"sample {name} has no preceding TYPE "
+                f"declaration (or an illegal suffix for its family type)")
+        family, suffix = resolved
+        if family != current:
+            raise OpenMetricsParseError(
+                lineno, line, f"sample for {family} is interleaved with "
+                f"family {current}")
+        try:
+            labels = _parse_labels(labeltext)
+        except ValueError as exc:
+            raise OpenMetricsParseError(lineno, line, str(exc)) from exc
+        if ex_labels is not None and suffix not in ("_bucket", "_total"):
+            raise OpenMetricsParseError(
+                lineno, line, "exemplars are only allowed on _bucket and "
+                "_total samples")
+        ftype = families[family]["type"]
+        if ftype == "histogram" and suffix == "_bucket" and "le" not in labels:
+            raise OpenMetricsParseError(
+                lineno, line, "histogram _bucket sample is missing its "
+                "le label")
+        exemplar = None
+        if ex_labels is not None:
+            try:
+                exemplar = {"labels": _parse_labels(ex_labels),
+                            "value": float(ex_value)}
+            except ValueError as exc:
+                raise OpenMetricsParseError(lineno, line,
+                                            str(exc)) from exc
+        families[family]["samples"].append(
+            {"name": name, "labels": labels, "value": float(value),
+             "exemplar": exemplar})
+    _validate_histograms(families)
+    return {"families": families}
+
+
+def _validate_histograms(families: "dict[str, dict]") -> None:
+    for family, info in families.items():
+        if info["type"] != "histogram":
+            continue
+        buckets = [s for s in info["samples"]
+                   if s["name"] == family + "_bucket"]
+        counts = [s for s in info["samples"]
+                  if s["name"] == family + "_count"]
+        if not buckets:
+            raise OpenMetricsParseError(
+                0, family, "histogram exposes no _bucket samples")
+        values = [b["value"] for b in buckets]
+        if any(b > a for a, b in zip(values[1:], values)):
+            raise OpenMetricsParseError(
+                0, family, "histogram buckets are not cumulative "
+                "non-decreasing")
+        if buckets[-1]["labels"].get("le") != "+Inf":
+            raise OpenMetricsParseError(
+                0, family, "histogram is missing its +Inf bucket")
+        if counts and counts[0]["value"] != buckets[-1]["value"]:
+            raise OpenMetricsParseError(
+                0, family, "_count disagrees with the +Inf bucket")

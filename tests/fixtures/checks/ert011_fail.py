@@ -1,0 +1,17 @@
+"""ERT011 failing fixture: library code configuring and writing through
+the stdlib logging root-handler tree."""
+# repro: module(repro.analysis.fake)
+
+import logging
+import logging.config
+
+logging.basicConfig(level=logging.INFO)
+logging.captureWarnings(True)
+log = logging.getLogger("repro.analysis.fake")
+
+
+def report(n_reads, histogram):
+    logging.info("processed %d reads", n_reads)
+    logging.root.setLevel(logging.DEBUG)
+    logging.config.dictConfig({"version": 1})
+    return histogram

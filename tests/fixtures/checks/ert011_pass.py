@@ -1,0 +1,12 @@
+"""ERT011 passing fixture: operational events flow through the
+structured repro.logging stream (off unless the CLI configures it)."""
+# repro: module(repro.analysis.fake)
+
+from repro.logging import get_logger
+
+_log = get_logger("analysis.fake")
+
+
+def report(n_reads, histogram):
+    _log.info("reads.processed", reads=n_reads)
+    return histogram

@@ -30,7 +30,7 @@ from repro.checks.engine import CheckReport, module_name_for_path
 FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures", "checks")
 REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 RULE_IDS = ("ERT001", "ERT002", "ERT003", "ERT004", "ERT005", "ERT006",
-            "ERT007", "ERT008", "ERT009", "ERT010")
+            "ERT007", "ERT008", "ERT009", "ERT010", "ERT011")
 
 
 def fixture(name):

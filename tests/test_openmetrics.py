@@ -1,0 +1,171 @@
+"""OpenMetrics exposition: renderer output, the strict parser, and the
+render -> parse round trip over real telemetry snapshots."""
+
+import pytest
+
+from repro import telemetry
+from repro.telemetry import parse_openmetrics, render_openmetrics
+from repro.telemetry.openmetrics import (
+    OpenMetricsParseError,
+    metric_name,
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_telemetry():
+    telemetry.disable()
+    telemetry.reset()
+    yield
+    telemetry.disable()
+    telemetry.reset()
+
+
+def _snapshot_with_everything():
+    telemetry.enable()
+    telemetry.count("seeding.nodes_visited", 42)
+    telemetry.set_gauge("pool.workers", 3)
+    telemetry.observe("align.window_bp", 120, edges=(100, 200))
+    token = telemetry.read_probe()
+    telemetry.record_read(token, "read_9", {"seeds": 5})
+    with telemetry.span("seed"):
+        with telemetry.span("smem"):
+            pass
+    return telemetry.snapshot()
+
+
+# ----------------------------------------------------------------------
+# Renderer
+# ----------------------------------------------------------------------
+
+
+def test_metric_name_flattens_dotted_names():
+    assert metric_name("seeding.nodes_visited") == \
+        "ert_seeding_nodes_visited"
+    assert metric_name("read.wall_ms", namespace="x") == "x_read_wall_ms"
+    with pytest.raises(ValueError):
+        metric_name("!!!", namespace="")
+
+
+def test_render_ends_with_eof_and_newline():
+    text = render_openmetrics(_snapshot_with_everything())
+    assert text.endswith("# EOF\n")
+    assert "\n\n" not in text
+
+
+def test_render_counter_gauge_histogram_series():
+    text = render_openmetrics(_snapshot_with_everything())
+    assert "# TYPE ert_seeding_nodes_visited counter" in text
+    assert "ert_seeding_nodes_visited_total 42" in text
+    assert "ert_pool_workers 3" in text
+    assert 'ert_align_window_bp_bucket{le="100"} 0' in text
+    assert 'ert_align_window_bp_bucket{le="200"} 1' in text
+    assert 'ert_align_window_bp_bucket{le="+Inf"} 1' in text
+    assert "ert_align_window_bp_count 1" in text
+    assert 'ert_span_seconds_total{path="seed"}' in text
+    assert 'ert_span_calls_total{path="seed/smem"} 1' in text
+
+
+def test_render_carries_read_exemplars():
+    text = render_openmetrics(_snapshot_with_everything())
+    exemplar_lines = [line for line in text.splitlines()
+                      if "# {read_id=" in line]
+    assert exemplar_lines, text
+    assert all(line.split(" # ")[0].startswith("ert_read_wall_ms_bucket")
+               for line in exemplar_lines)
+
+
+def test_round_trip_parses_cleanly():
+    text = render_openmetrics(_snapshot_with_everything())
+    doc = parse_openmetrics(text)
+    families = doc["families"]
+    assert families["ert_seeding_nodes_visited"]["type"] == "counter"
+    hist = families["ert_read_wall_ms"]
+    buckets = [s for s in hist["samples"]
+               if s["name"] == "ert_read_wall_ms_bucket"]
+    assert any(s["exemplar"] is not None for s in buckets)
+    exemplar = next(s["exemplar"] for s in buckets
+                    if s["exemplar"] is not None)
+    assert exemplar["labels"] == {"read_id": "read_9"}
+
+
+# ----------------------------------------------------------------------
+# Parser strictness
+# ----------------------------------------------------------------------
+
+
+def _err(text):
+    with pytest.raises(OpenMetricsParseError) as exc:
+        parse_openmetrics(text)
+    return str(exc.value)
+
+
+def test_parser_requires_trailing_newline_and_eof():
+    assert "newline" in _err("# EOF")
+    assert "# EOF" in _err("# TYPE a counter\na_total 1\n")
+
+
+def test_parser_rejects_blank_lines():
+    assert "blank" in _err("# TYPE a counter\n\na_total 1\n# EOF\n")
+
+
+def test_parser_rejects_samples_without_type():
+    assert "no preceding TYPE" in _err("a_total 1\n# EOF\n")
+
+
+def test_parser_rejects_duplicate_type():
+    assert "duplicate TYPE" in _err(
+        "# TYPE a counter\n# TYPE a counter\na_total 1\n# EOF\n")
+
+
+def test_parser_rejects_wrong_suffix_for_type():
+    # A gauge family must expose the bare name, not _total.
+    assert "no preceding TYPE" in _err("# TYPE g gauge\ng_total 1\n# EOF\n")
+
+
+def test_parser_rejects_interleaved_families():
+    text = ("# TYPE a counter\n# TYPE b counter\n"
+            "a_total 1\nb_total 1\n# EOF\n")
+    assert "interleaved" in _err(text)
+
+
+def test_parser_rejects_exemplar_on_gauge():
+    text = '# TYPE g gauge\ng 1 # {x="y"} 1\n# EOF\n'
+    assert "exemplars are only allowed" in _err(text)
+
+
+def test_parser_rejects_bucket_without_le():
+    text = ('# TYPE h histogram\nh_bucket{x="1"} 1\n'
+            'h_bucket{le="+Inf"} 1\nh_count 1\nh_sum 1\n# EOF\n')
+    assert "le label" in _err(text)
+
+
+def test_parser_rejects_non_cumulative_buckets():
+    text = ('# TYPE h histogram\nh_bucket{le="1"} 5\n'
+            'h_bucket{le="+Inf"} 3\nh_count 3\nh_sum 1\n# EOF\n')
+    assert "cumulative" in _err(text)
+
+
+def test_parser_rejects_count_disagreeing_with_inf_bucket():
+    text = ('# TYPE h histogram\nh_bucket{le="1"} 1\n'
+            'h_bucket{le="+Inf"} 2\nh_count 5\nh_sum 1\n# EOF\n')
+    assert "_count disagrees" in _err(text)
+
+
+def test_parser_rejects_malformed_labels():
+    assert "malformed" in _err(
+        '# TYPE a counter\na_total{bad-key="1"} 1\n# EOF\n')
+
+
+def test_parser_accepts_escaped_label_values():
+    text = ('# TYPE a counter\n'
+            'a_total{path="seed\\"x\\\\y"} 1\n# EOF\n')
+    doc = parse_openmetrics(text)
+    sample = doc["families"]["a"]["samples"][0]
+    assert sample["labels"]["path"] == 'seed\\"x\\\\y'
+
+
+def test_parser_handles_inf_values():
+    text = ('# TYPE h histogram\nh_bucket{le="+Inf"} 0\n'
+            "h_count 0\nh_sum 0\n# EOF\n")
+    doc = parse_openmetrics(text)
+    assert doc["families"]["h"]["samples"][0]["value"] == 0

@@ -113,3 +113,78 @@ def test_seed_reports_truncated_hit_lists(workspace, tmp_path, capsys):
                  "--out", str(tmp_path / "t.tsv")]) == 0
     err = capsys.readouterr().err
     assert "truncated by --max-hits 1" in err
+
+
+def test_metrics_format_openmetrics_writes_parseable_text(workspace,
+                                                          tmp_path):
+    from repro.telemetry import parse_openmetrics
+
+    _root, reads, index = workspace
+    metrics = tmp_path / "metrics.om"
+    assert main(["seed", "--index", str(index), "--reads", str(reads),
+                 "--min-seed-len", "12", "--out", str(tmp_path / "s.tsv"),
+                 "--metrics-out", str(metrics),
+                 "--metrics-format", "openmetrics"]) == 0
+    text = metrics.read_text()
+    assert text.endswith("# EOF\n")
+    doc = parse_openmetrics(text)
+    families = doc["families"]
+    assert "ert_seeding_reads" in families
+    hist = families["ert_read_wall_ms"]
+    buckets = [s for s in hist["samples"]
+               if s["name"] == "ert_read_wall_ms_bucket"]
+    assert any(s["exemplar"] is not None for s in buckets), \
+        "no read exemplar survived into the exposition"
+
+
+def test_report_format_openmetrics_round_trips(workspace, tmp_path,
+                                               capsys):
+    from repro.telemetry import parse_openmetrics
+
+    _root, reads, index = workspace
+    metrics = tmp_path / "metrics.json"
+    assert main(["seed", "--index", str(index), "--reads", str(reads),
+                 "--min-seed-len", "12", "--out", str(tmp_path / "s.tsv"),
+                 "--metrics-out", str(metrics)]) == 0
+    capsys.readouterr()
+    assert main(["report", "--metrics", str(metrics),
+                 "--format", "openmetrics"]) == 0
+    out = capsys.readouterr().out
+    assert out.endswith("# EOF\n")
+    assert "ert_seeding_reads_total" in out
+    parse_openmetrics(out)
+
+
+def test_slowlog_flag_writes_exemplar_jsonl(workspace, tmp_path):
+    _root, reads, index = workspace
+    slowlog = tmp_path / "slow.jsonl"
+    assert main(["seed", "--index", str(index), "--reads", str(reads),
+                 "--min-seed-len", "12", "--out", str(tmp_path / "s.tsv"),
+                 "--workers", "2", "--slowlog", str(slowlog)]) == 0
+    entries = [json.loads(line)
+               for line in slowlog.read_text().splitlines()]
+    assert entries
+    sources = {e["source"] for e in entries}
+    assert sources <= {"slowest", "reservoir"}
+    by_id = {e["read_id"] for e in entries if e["source"] == "slowest"}
+    assert len(by_id) > 0
+    for entry in entries:
+        assert entry["task"] == "seed"
+        assert entry["wall_ms"] >= 0
+        assert isinstance(entry["counters"], dict)
+
+
+def test_log_jsonl_flag_captures_pool_lifecycle(workspace, tmp_path):
+    _root, reads, index = workspace
+    log = tmp_path / "events.jsonl"
+    assert main(["seed", "--index", str(index), "--reads", str(reads),
+                 "--min-seed-len", "12", "--out", str(tmp_path / "s.tsv"),
+                 "--workers", "2", "--log-jsonl", str(log)]) == 0
+    from repro import logging as rlog
+    assert not rlog.configured()  # the command shut the sink down
+    events = [json.loads(line) for line in log.read_text().splitlines()]
+    names = {e["event"] for e in events}
+    assert {"shm.create", "pool.spawn", "shm.unlink"} <= names
+    spawn = next(e for e in events if e["event"] == "pool.spawn")
+    assert spawn["workers"] == 2
+    assert spawn["subsystem"] == "parallel.scheduler"
