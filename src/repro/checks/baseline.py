@@ -1,0 +1,152 @@
+"""Baseline files: land strict rules without a mass-annotation commit.
+
+``ert-repro check --update-baseline`` snapshots the current violations
+into a JSON file; ``--baseline FILE`` then waives exactly those on later
+runs, so a new rule is strict for new code while the existing debt is
+tracked in one reviewable artifact instead of a hundred pragmas.
+
+Violations are matched by **fingerprint**, not line number:
+``sha1(rule | normalized path | stripped source line text)``.  Adding
+code above a baselined violation moves its line but not its fingerprint;
+editing the offending line itself invalidates the waiver, which is the
+point -- touched debt must be paid (or re-baselined deliberately).
+Identical lines (same rule, file, and text) are disambiguated by count:
+a baseline recording two occurrences waives at most two.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.checks.engine import CheckReport
+from repro.checks.violations import Violation
+
+#: Default baseline filename, resolved against the working directory.
+DEFAULT_BASELINE = "checks-baseline.json"
+
+#: Schema version of the baseline document.
+BASELINE_VERSION = 1
+
+
+def _normalized_path(path: str) -> str:
+    normalized = os.path.normpath(path).replace(os.sep, "/")
+    return normalized[2:] if normalized.startswith("./") else normalized
+
+
+class _LineCache:
+    """Lazy path -> source lines lookup shared across fingerprints."""
+
+    def __init__(self) -> None:
+        self._lines: "Dict[str, List[str]]" = {}
+
+    def line_text(self, path: str, line: int) -> str:
+        if path not in self._lines:
+            try:
+                with open(path, encoding="utf-8",
+                          errors="replace") as handle:
+                    self._lines[path] = handle.read().splitlines()
+            except OSError:
+                self._lines[path] = []
+        lines = self._lines[path]
+        if 1 <= line <= len(lines):
+            return lines[line - 1].strip()
+        return ""
+
+
+def fingerprint(violation: Violation,
+                cache: "Optional[_LineCache]" = None) -> str:
+    """Stable identity of a violation across unrelated edits."""
+    cache = cache or _LineCache()
+    text = cache.line_text(violation.path, violation.line)
+    payload = (f"{violation.rule}|{_normalized_path(violation.path)}"
+               f"|{text}")
+    return hashlib.sha1(payload.encode("utf-8")).hexdigest()[:16]
+
+
+def _fingerprint_all(violations: "Iterable[Violation]"
+                     ) -> "List[Tuple[str, Violation]]":
+    cache = _LineCache()
+    return [(fingerprint(v, cache), v) for v in violations]
+
+
+def baseline_document(report: CheckReport) -> "Dict[str, object]":
+    """The report's violations as a baseline document."""
+    entries: "Dict[str, Dict[str, object]]" = {}
+    for print_, violation in _fingerprint_all(report.violations):
+        entry = entries.setdefault(print_, {
+            "fingerprint": print_,
+            "rule": violation.rule,
+            "path": _normalized_path(violation.path),
+            "count": 0,
+        })
+        entry["count"] = int(entry["count"]) + 1  # type: ignore[call-overload]
+    return {
+        "version": BASELINE_VERSION,
+        "tool": "ert-repro-check",
+        "entries": sorted(entries.values(),
+                          key=lambda e: (str(e["path"]), str(e["rule"]),
+                                         str(e["fingerprint"]))),
+    }
+
+
+def write_baseline(path: str, report: CheckReport) -> int:
+    """Write the baseline for ``report``; returns the entry count."""
+    document = baseline_document(report)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2)
+        handle.write("\n")
+    return len(document["entries"])  # type: ignore[arg-type]
+
+
+def load_baseline(path: str) -> "Dict[str, int]":
+    """Fingerprint -> allowed occurrence count from a baseline file.
+
+    Raises ``ValueError`` on a malformed or wrong-version document so
+    the CLI can exit 2 (bad invocation) instead of silently passing.
+    """
+    with open(path, encoding="utf-8") as handle:
+        document = json.load(handle)
+    if not isinstance(document, dict) \
+            or document.get("version") != BASELINE_VERSION:
+        raise ValueError(
+            f"{path}: not a version-{BASELINE_VERSION} baseline document")
+    allowed: "Dict[str, int]" = {}
+    for entry in document.get("entries", []):
+        print_ = entry.get("fingerprint")
+        if isinstance(print_, str):
+            allowed[print_] = allowed.get(print_, 0) \
+                + max(int(entry.get("count", 1)), 1)
+    return allowed
+
+
+def apply_baseline(report: CheckReport,
+                   allowed: "Dict[str, int]") -> CheckReport:
+    """Drop baselined violations from ``report`` (in place).
+
+    ``report.baselined`` counts what was waived, so the debt stays
+    visible in the summary line and the JSON/SARIF property bags.
+    """
+    remaining = dict(allowed)
+    kept: "List[Violation]" = []
+    for print_, violation in _fingerprint_all(report.violations):
+        if remaining.get(print_, 0) > 0:
+            remaining[print_] -= 1
+            report.baselined += 1
+        else:
+            kept.append(violation)
+    report.violations = kept
+    return report
+
+
+__all__ = [
+    "BASELINE_VERSION",
+    "DEFAULT_BASELINE",
+    "apply_baseline",
+    "baseline_document",
+    "fingerprint",
+    "load_baseline",
+    "write_baseline",
+]

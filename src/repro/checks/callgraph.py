@@ -1,0 +1,165 @@
+"""Pass 2 of the whole-program analyzer: the project call graph.
+
+A :class:`ProjectGraph` indexes every :class:`~repro.checks.symbols.
+ModuleSummary` from pass 1 and resolves the dotted call targets recorded
+there into project symbols.  Resolution is deliberately conservative --
+an edge exists only when the target provably names a function in the
+project -- so the transitive-hot closure under-approximates reality
+rather than flooding the tree with false positives.
+
+Resolution handles the three indirections this codebase actually uses:
+
+* **aliased imports** -- pass 1 already rewrote ``eng.seed_read`` to
+  ``repro.core.engine.ErtSeedingEngine.seed_read`` through the per-file
+  import table and local type inference;
+* **re-export chains** -- ``repro.core.ErtIndex`` hops through
+  ``repro/core/__init__.py``'s import table to
+  ``repro.core.index.ErtIndex`` (cycle-guarded, bounded depth);
+* **methods** -- ``pkg.mod.Cls.meth`` finds the method on ``Cls`` or,
+  failing that, one level up through ``Cls``'s listed bases; calling a
+  class resolves to its ``__init__``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.checks.symbols import ClassSymbol, FunctionSymbol, ModuleSummary
+
+#: Bound on export-chain hops; real chains here are 1-2 deep.
+_MAX_HOPS = 8
+
+
+class ProjectGraph:
+    """Symbol table + call graph over one set of module summaries."""
+
+    def __init__(self, summaries: "List[ModuleSummary]") -> None:
+        self.modules: "Dict[str, ModuleSummary]" = {}
+        self.functions: "Dict[str, FunctionSymbol]" = {}
+        self.classes: "Dict[str, ClassSymbol]" = {}
+        for summary in summaries:
+            if summary.module:
+                self.modules[summary.module] = summary
+            for fn in summary.functions:
+                self.functions[fn.qualname] = fn
+            for cls in summary.classes:
+                self.classes[cls.qualname] = cls
+        #: caller qualname -> resolved callee qualnames (sorted, unique).
+        self.edges: "Dict[str, Tuple[str, ...]]" = {}
+        for qualname, fn in self.functions.items():
+            callees: "Set[str]" = set()
+            for call in fn.calls:
+                resolved = self.resolve_call(call.target)
+                if resolved is not None and resolved != qualname:
+                    callees.add(resolved)
+            self.edges[qualname] = tuple(sorted(callees))
+
+    # -- resolution ----------------------------------------------------
+
+    def resolve_call(self, dotted: "Optional[str]") -> "Optional[str]":
+        """Project function a call on ``dotted`` lands in, or None.
+
+        Calling a class resolves to its ``__init__`` (searching listed
+        bases), so constructor bodies join the hot closure.
+        """
+        hit = self._lookup(dotted, hops=0)
+        if hit is None:
+            return None
+        kind, qualname = hit
+        if kind == "function":
+            return qualname
+        return self._method_on(qualname, "__init__", set())
+
+    def resolve_class(self, dotted: "Optional[str]") -> "Optional[str]":
+        """Project class ``dotted`` names, following re-export chains."""
+        hit = self._lookup(dotted, hops=0)
+        if hit is not None and hit[0] == "class":
+            return hit[1]
+        return None
+
+    def _lookup(self, dotted: "Optional[str]",
+                hops: int) -> "Optional[Tuple[str, str]]":
+        """Resolve ``dotted`` to ``("function" | "class", qualname)``."""
+        if dotted is None or hops > _MAX_HOPS:
+            return None
+        if dotted in self.functions:
+            return "function", dotted
+        if dotted in self.classes:
+            return "class", dotted
+        head, _, tail = dotted.rpartition(".")
+        if head and tail:
+            # ``pkg.mod.Cls.meth``: a method on a known class (or base).
+            if head in self.classes:
+                method = self._method_on(head, tail, set())
+                if method is not None:
+                    return "function", method
+            # Re-export hop: find a module prefix whose import table
+            # maps the next segment elsewhere, and follow it.
+            parts = dotted.split(".")
+            for split in range(len(parts) - 1, 0, -1):
+                prefix = ".".join(parts[:split])
+                summary = self.modules.get(prefix)
+                if summary is None:
+                    continue
+                target = summary.exports.get(parts[split])
+                if target is None or target == dotted:
+                    continue
+                rest = parts[split + 1:]
+                rerouted = ".".join([target] + rest) if rest else target
+                hit = self._lookup(rerouted, hops + 1)
+                if hit is not None:
+                    return hit
+        return None
+
+    def _method_on(self, cls_qualname: str, name: str,
+                   seen: "Set[str]") -> "Optional[str]":
+        """Find method ``name`` on a class or (recursively) its bases."""
+        if cls_qualname in seen:
+            return None
+        seen.add(cls_qualname)
+        cls = self.classes.get(cls_qualname)
+        if cls is None:
+            return None
+        if name in cls.methods:
+            return f"{cls_qualname}.{name}"
+        for base in cls.bases:
+            base_cls = self.resolve_class(base)
+            if base_cls is None:
+                continue
+            found = self._method_on(base_cls, name, seen)
+            if found is not None:
+                return found
+        return None
+
+    # -- hot propagation -----------------------------------------------
+
+    def hot_paths(self) -> "Dict[str, Tuple[str, ...]]":
+        """Every function reachable from a ``# repro: hot`` root, mapped
+        to one call chain ``(root, ..., function)`` that reaches it.
+
+        Deterministic: BFS from roots in sorted order over sorted edges,
+        so the recorded chain (used in ERT012-ERT014 messages) is stable
+        across runs and ``--jobs`` settings.
+        """
+        paths: "Dict[str, Tuple[str, ...]]" = {}
+        queue: "deque[str]" = deque()
+        for qualname in sorted(self.functions):
+            if self.functions[qualname].hot:
+                paths[qualname] = (qualname,)
+                queue.append(qualname)
+        while queue:
+            current = queue.popleft()
+            for callee in self.edges.get(current, ()):
+                if callee not in paths:
+                    paths[callee] = paths[current] + (callee,)
+                    queue.append(callee)
+        return paths
+
+
+def build_graph(summaries: "List[ModuleSummary]") -> ProjectGraph:
+    """Convenience constructor matching the engine's call site."""
+    return ProjectGraph(summaries)
+
+
+__all__ = ["ProjectGraph", "build_graph"]

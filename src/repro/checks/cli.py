@@ -1,6 +1,7 @@
 """The ``ert-repro check`` subcommand.
 
-Exit codes: 0 clean, 1 violations found, 2 bad invocation (argparse).
+Exit codes: 0 clean, 1 violations found, 2 bad invocation (argparse,
+unknown rule ids, unreadable/malformed baseline).
 Kept separate from :mod:`repro.cli` so ``python -m repro.checks.cli``
 works on a tree where the heavy numeric packages will not even import.
 """
@@ -8,16 +9,35 @@ works on a tree where the heavy numeric packages will not even import.
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
+from typing import List
 
+from repro.checks.baseline import (
+    DEFAULT_BASELINE,
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
 from repro.checks.engine import (
     DEFAULT_EXCLUDES,
+    ProjectRule,
+    Rule,
     all_rules,
     run_checks,
 )
 from repro.checks.report import render_json, render_text
+from repro.checks.sarif import render_sarif
 
 DEFAULT_PATHS = ("src", "tests", "benchmarks")
+
+
+def _positive_jobs(value: str) -> int:
+    jobs = int(value)
+    if jobs < 0:
+        raise argparse.ArgumentTypeError("--jobs must be >= 0")
+    return jobs
 
 
 def configure_parser(parser: argparse.ArgumentParser) -> None:
@@ -28,8 +48,9 @@ def configure_parser(parser: argparse.ArgumentParser) -> None:
         help=f"files or directories to check "
              f"(default: {' '.join(DEFAULT_PATHS)})")
     parser.add_argument(
-        "--format", choices=("text", "json"), default="text",
-        help="report format (default: text)")
+        "--format", choices=("text", "json", "sarif"), default="text",
+        help="report format (default: text); sarif emits a SARIF 2.1.0 "
+             "document for code-scanning upload")
     parser.add_argument(
         "--rules", default=None, metavar="IDS",
         help="comma-separated rule ids to run (default: all)")
@@ -38,34 +59,97 @@ def configure_parser(parser: argparse.ArgumentParser) -> None:
         help=f"extra path patterns to skip (defaults always apply: "
              f"{', '.join(DEFAULT_EXCLUDES)})")
     parser.add_argument(
+        "--jobs", type=_positive_jobs, default=1, metavar="N",
+        help="parallelize the per-file pass over N worker processes "
+             "(0 = cpu count; output is identical at any N)")
+    parser.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help=f"waive the violations recorded in FILE "
+             f"(see --update-baseline; conventional name: "
+             f"{DEFAULT_BASELINE})")
+    parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="write the current violations to the baseline file "
+             "(--baseline FILE, default ./checks-baseline.json) and "
+             "exit 0")
+    parser.add_argument(
         "--list-rules", action="store_true",
-        help="print the rule catalogue and exit")
+        help="print the rule catalogue (respects --rules and "
+             "--format json) and exit")
+
+
+def _selected_rules(args: argparse.Namespace) -> "List[Rule] | None":
+    """Rules after the --rules filter; None means exit 2 (printed)."""
+    rules = all_rules()
+    if not args.rules:
+        return rules
+    wanted = {rule_id.strip() for rule_id in args.rules.split(",")
+              if rule_id.strip()}
+    known = {rule.id for rule in rules}
+    unknown = wanted - known
+    if unknown:
+        print(f"unknown rule id(s): {', '.join(sorted(unknown))} "
+              f"(known: {', '.join(sorted(known))})", file=sys.stderr)
+        return None
+    return [rule for rule in rules if rule.id in wanted]
+
+
+def _list_rules(rules: "List[Rule]", fmt: str) -> int:
+    if fmt == "json":
+        catalogue = [{
+            "id": rule.id,
+            "title": rule.title,
+            "rationale": rule.rationale,
+            "kind": "project" if isinstance(rule, ProjectRule)
+                    else "file",
+            "scope": list(rule.scope) if rule.scope else None,
+            "exclude_scope": list(rule.exclude_scope),
+            "pragma": f"# repro: allow({rule.id})",
+        } for rule in rules]
+        print(json.dumps(catalogue, indent=2))
+        return 0
+    for rule in rules:
+        scope = ", ".join(rule.scope) if rule.scope else "everywhere"
+        if rule.exclude_scope:
+            scope += f" (except {', '.join(rule.exclude_scope)})"
+        kind = "project" if isinstance(rule, ProjectRule) else "file"
+        print(f"{rule.id}  {rule.title}")
+        print(f"        pass:   {kind}")
+        print(f"        scope:  {scope}")
+        print(f"        pragma: # repro: allow({rule.id})")
+        print(f"        why:    {rule.rationale}")
+    return 0
 
 
 def run(args: argparse.Namespace) -> int:
     """Execute a configured ``check`` invocation; returns the exit code."""
-    rules = all_rules()
+    rules = _selected_rules(args)
+    if rules is None:
+        return 2
     if args.list_rules:
-        for rule in rules:
-            scope = ", ".join(rule.scope) if rule.scope else "everywhere"
-            print(f"{rule.id}  {rule.title}")
-            print(f"        scope: {scope}")
-            print(f"        why:   {rule.rationale}")
-        return 0
-    if args.rules:
-        wanted = {rule_id.strip() for rule_id in args.rules.split(",")
-                  if rule_id.strip()}
-        known = {rule.id for rule in rules}
-        unknown = wanted - known
-        if unknown:
-            print(f"unknown rule id(s): {', '.join(sorted(unknown))} "
-                  f"(known: {', '.join(sorted(known))})", file=sys.stderr)
-            return 2
-        rules = [rule for rule in rules if rule.id in wanted]
+        return _list_rules(rules, args.format)
     excludes = DEFAULT_EXCLUDES + tuple(args.exclude or ())
-    report = run_checks(args.paths, rules=rules, excludes=excludes)
+    jobs = args.jobs if args.jobs > 0 else (os.cpu_count() or 1)
+    report = run_checks(args.paths, rules=rules, excludes=excludes,
+                        jobs=jobs)
+    if args.update_baseline:
+        baseline_path = args.baseline or DEFAULT_BASELINE
+        entries = write_baseline(baseline_path, report)
+        print(f"baseline: {entries} entr{'y' if entries == 1 else 'ies'} "
+              f"({len(report.violations)} violation(s)) -> "
+              f"{baseline_path}")
+        return 0
+    if args.baseline:
+        try:
+            allowed = load_baseline(args.baseline)
+        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            print(f"cannot load baseline: {exc}", file=sys.stderr)
+            return 2
+        apply_baseline(report, allowed)
     if args.format == "json":
         print(render_json(report))
+    elif args.format == "sarif":
+        print(render_sarif(report, rules))
     else:
         print(render_text(report))
     return 0 if report.ok else 1

@@ -6,6 +6,20 @@ A :class:`SourceFile` bundles everything a rule needs -- the parsed AST
 an import-alias table for resolving dotted names, and the pragma index.
 Rules are small classes registered by id; :func:`run_checks` walks the
 requested paths and aggregates a :class:`CheckReport`.
+
+The runner makes **two passes**.  Pass 1 visits every file
+independently: it runs the per-file rules and reduces the file to a
+picklable :class:`FileScan` (violations + a
+:class:`~repro.checks.symbols.ModuleSummary` of its functions, call
+sites, and rule-relevant facts).  Because pass 1 carries no AST state
+across files, ``run_checks(jobs=N)`` can farm it out to worker
+processes and still produce byte-identical reports.  Pass 2 assembles
+the summaries into a :class:`~repro.checks.callgraph.ProjectGraph` and
+runs every registered :class:`ProjectRule` over it -- the whole-program
+rules (ERT012-ERT016) that need cross-file facts like transitive
+hotness or shm create/unlink pairing.  Suppression stays file-local:
+a project-rule violation is silenced by the pragmas of the file it
+points into.
 """
 
 from __future__ import annotations
@@ -14,10 +28,14 @@ import ast
 import fnmatch
 import os
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.checks.pragmas import FilePragmas, parse_pragmas
 from repro.checks.violations import Violation
+
+if TYPE_CHECKING:  # pragma: no cover -- avoid an import cycle at runtime
+    from repro.checks.callgraph import ProjectGraph
+    from repro.checks.symbols import ModuleSummary
 
 #: Paths matching any of these (fnmatch, against ``/``-separated paths)
 #: are skipped by default; the fixture corpus deliberately violates every
@@ -180,6 +198,26 @@ class Rule:
         raise NotImplementedError
 
 
+class ProjectRule(Rule):
+    """Base class for whole-program rules (the pass-2 checks).
+
+    A project rule sees the assembled
+    :class:`~repro.checks.callgraph.ProjectGraph` instead of one file at
+    a time, so it can reason about cross-file facts: hot status flowing
+    through calls, a segment created in one function and unlinked in
+    another.  ``scope``/``exclude_scope`` still apply -- the engine
+    filters each emitted violation by the logical module of the file it
+    points into, and per-file pragmas suppress it the same way they
+    suppress per-file rules.
+    """
+
+    def check(self, src: SourceFile) -> "Iterable[Violation]":
+        return ()
+
+    def check_project(self, graph: "ProjectGraph") -> "Iterable[Violation]":
+        raise NotImplementedError
+
+
 def _matches_any(module: str, prefixes: "tuple[str, ...]") -> bool:
     return any(module == p or module.startswith(p + ".") for p in prefixes)
 
@@ -209,6 +247,9 @@ class CheckReport:
     violations: "List[Violation]" = field(default_factory=list)
     files_checked: int = 0
     suppressed: int = 0
+    #: Violations waived by a ``--baseline`` file (see
+    #: :mod:`repro.checks.baseline`); 0 when no baseline is applied.
+    baselined: int = 0
 
     @property
     def ok(self) -> bool:
@@ -221,20 +262,43 @@ class CheckReport:
         return dict(sorted(counts.items()))
 
 
-def check_source(path: str, source: str,
-                 rules: "Iterable[Rule] | None" = None,
-                 module: "str | None" = None
-                 ) -> "Tuple[List[Violation], int]":
-    """Check one in-memory source; returns (violations, suppressed_count)."""
+@dataclass
+class FileScan:
+    """Pass-1 result for one file.  Picklable, so ``--jobs`` workers can
+    ship it back to the parent process."""
+
+    path: str
+    module: "str | None"
+    violations: "List[Violation]" = field(default_factory=list)
+    suppressed: int = 0
+    pragmas: "FilePragmas | None" = None
+    #: Symbol summary for pass 2; None when the file failed to parse.
+    summary: "ModuleSummary | None" = None
+
+
+def scan_source(path: str, source: str,
+                rules: "Iterable[Rule] | None" = None,
+                module: "str | None" = None) -> FileScan:
+    """Pass 1 over one in-memory source: per-file rules + summary."""
+    from repro.checks.symbols import summarize
     try:
         src = SourceFile(path, source, module=module)
     except SyntaxError as exc:
-        return [Violation(path=path, line=exc.lineno or 0,
-                          col=(exc.offset or 0) or 1, rule=PARSE_RULE,
-                          message=f"syntax error: {exc.msg}")], 0
+        pragmas = parse_pragmas(source)
+        return FileScan(
+            path=path,
+            module=pragmas.module_override or module
+            or module_name_for_path(path),
+            violations=[Violation(path=path, line=exc.lineno or 0,
+                                  col=(exc.offset or 0) or 1,
+                                  rule=PARSE_RULE,
+                                  message=f"syntax error: {exc.msg}")],
+            suppressed=0, pragmas=pragmas, summary=None)
     violations: "List[Violation]" = []
     suppressed = 0
     for rule in (all_rules() if rules is None else rules):
+        if isinstance(rule, ProjectRule):
+            continue
         if not rule.applies_to(src.module):
             continue
         for violation in rule.check(src):
@@ -244,7 +308,69 @@ def check_source(path: str, source: str,
             else:
                 violations.append(violation)
     violations.sort()
+    return FileScan(path=path, module=src.module, violations=violations,
+                    suppressed=suppressed, pragmas=src.pragmas,
+                    summary=summarize(src))
+
+
+def scan_file(path: str, rules: "Iterable[Rule] | None" = None) -> FileScan:
+    """Pass 1 over one file on disk."""
+    with open(path, encoding="utf-8", errors="replace") as handle:
+        source = handle.read()
+    return scan_source(path, source, rules)
+
+
+def run_project_rules(scans: "List[FileScan]",
+                      rules: "Iterable[Rule] | None" = None
+                      ) -> "Tuple[List[Violation], int]":
+    """Pass 2: assemble the graph and run every project rule.
+
+    Each violation is scoped and suppressed against the file it points
+    into -- a ``# repro: allow(ERT013)`` next to the loop silences the
+    project rule exactly like a per-file one.
+    """
+    from repro.checks.callgraph import build_graph
+    rule_list = all_rules() if rules is None else list(rules)
+    project_rules = [r for r in rule_list if isinstance(r, ProjectRule)]
+    if not project_rules:
+        return [], 0
+    summaries = [scan.summary for scan in scans if scan.summary is not None]
+    graph = build_graph(summaries)
+    by_path: "Dict[str, FileScan]" = {scan.path: scan for scan in scans}
+    violations: "List[Violation]" = []
+    suppressed = 0
+    for rule in project_rules:
+        for violation in rule.check_project(graph):
+            scan = by_path.get(violation.path)
+            if scan is None:
+                continue
+            if not rule.applies_to(scan.module):
+                continue
+            if scan.pragmas is not None and scan.pragmas.allows(
+                    violation.rule, violation.line,
+                    violation.end_line or violation.line):
+                suppressed += 1
+            else:
+                violations.append(violation)
+    violations.sort()
     return violations, suppressed
+
+
+def check_source(path: str, source: str,
+                 rules: "Iterable[Rule] | None" = None,
+                 module: "str | None" = None
+                 ) -> "Tuple[List[Violation], int]":
+    """Check one in-memory source; returns (violations, suppressed_count).
+
+    Runs both passes over the single file, so project rules whose facts
+    are file-local (every fixture pair) work through this entry point.
+    """
+    rule_list = all_rules() if rules is None else list(rules)
+    scan = scan_source(path, source, rule_list, module=module)
+    project_violations, project_suppressed = run_project_rules(
+        [scan], rule_list)
+    violations = sorted(scan.violations + project_violations)
+    return violations, scan.suppressed + project_suppressed
 
 
 def check_file(path: str, rules: "Iterable[Rule] | None" = None
@@ -253,6 +379,22 @@ def check_file(path: str, rules: "Iterable[Rule] | None" = None
     with open(path, encoding="utf-8", errors="replace") as handle:
         source = handle.read()
     return check_source(path, source, rules)
+
+
+def _scan_file_task(task: "Tuple[str, Optional[Tuple[str, ...]]]") -> FileScan:
+    """Pass-1 worker body for ``run_checks(jobs=N)``.
+
+    Rule objects are not pickled -- workers re-select rules by id from
+    their own registry (importing :mod:`repro.checks` populates it under
+    both fork and spawn start methods).
+    """
+    path, rule_ids = task
+    import repro.checks  # noqa: F401  (registers the rule set)
+    rule_list = all_rules()
+    if rule_ids is not None:
+        wanted = set(rule_ids)
+        rule_list = [rule for rule in rule_list if rule.id in wanted]
+    return scan_file(path, rule_list)
 
 
 def iter_python_files(paths: "Iterable[str]",
@@ -290,15 +432,38 @@ def iter_python_files(paths: "Iterable[str]",
 
 def run_checks(paths: "Iterable[str]",
                rules: "Iterable[Rule] | None" = None,
-               excludes: "tuple[str, ...]" = DEFAULT_EXCLUDES
-               ) -> CheckReport:
-    """Run the rule set over every Python file under ``paths``."""
+               excludes: "tuple[str, ...]" = DEFAULT_EXCLUDES,
+               jobs: int = 1) -> CheckReport:
+    """Run both passes over every Python file under ``paths``.
+
+    ``jobs > 1`` parallelizes pass 1 across processes.  ``pool.map``
+    preserves input order and pass 2 runs in the parent over the sorted
+    scan list, so the report is byte-identical at any ``jobs`` value.
+    """
     rule_list = all_rules() if rules is None else list(rules)
-    report = CheckReport()
-    for path in iter_python_files(paths, excludes):
-        violations, suppressed = check_file(path, rule_list)
-        report.files_checked += 1
-        report.violations.extend(violations)
-        report.suppressed += suppressed
+    files = list(iter_python_files(paths, excludes))
+    scans: "List[FileScan]"
+    if jobs > 1 and len(files) > 1:
+        import concurrent.futures
+        rule_ids = tuple(rule.id for rule in rule_list)
+        tasks = [(path, rule_ids) for path in files]
+        # The checker cannot route through repro.parallel's audited pool
+        # layer: repro.checks imports nothing else from repro so it can
+        # lint a broken tree (see the ERT005 layering table).  Pass 1 is
+        # a stateless map() over files, the narrow case a raw pool is
+        # safe for.
+        with concurrent.futures.ProcessPoolExecutor(  # repro: allow(ERT008)
+                max_workers=min(jobs, len(files))) as pool:
+            scans = list(pool.map(_scan_file_task, tasks, chunksize=4))
+    else:
+        scans = [scan_file(path, rule_list) for path in files]
+    report = CheckReport(files_checked=len(scans))
+    for scan in scans:
+        report.violations.extend(scan.violations)
+        report.suppressed += scan.suppressed
+    project_violations, project_suppressed = run_project_rules(
+        scans, rule_list)
+    report.violations.extend(project_violations)
+    report.suppressed += project_suppressed
     report.violations.sort()
     return report

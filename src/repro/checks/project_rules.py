@@ -1,0 +1,214 @@
+"""Whole-program rules ERT012-ERT016 (the pass-2 checks).
+
+These rules consume the :class:`~repro.checks.callgraph.ProjectGraph`
+built from every file's pass-1 summary, so they see facts no per-file
+rule can: ``# repro: hot`` flowing through calls into un-annotated
+helpers (ERT012), Python-level per-element loops and per-iteration
+allocations anywhere in the transitive hot closure (ERT013/ERT014 --
+together, the vectorization gate for the hot-path kernel work), shm
+segments created in one function without the registration/unlink
+discipline ``repro.parallel.shm`` established (ERT015), and callables
+crossing a pool boundary with a closure or receiver in tow (ERT016).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, List, Tuple
+
+from repro.checks import symbols
+from repro.checks.engine import ProjectRule, register
+from repro.checks.symbols import Fact, FunctionSymbol
+from repro.checks.violations import Violation
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.checks.callgraph import ProjectGraph
+
+
+def _chain(path: "Tuple[str, ...]") -> str:
+    """Human-readable call chain for a hot-path message."""
+    return " -> ".join(f"{qualname}()" for qualname in path)
+
+
+def _fact_violation(rule_id: str, fn: FunctionSymbol, fact: Fact,
+                    message: str) -> Violation:
+    return Violation(path=fn.path, line=fact.line, col=fact.col,
+                     rule=rule_id, message=message, end_line=fact.end_line)
+
+
+def _hot_facts(graph: "ProjectGraph", kind: str,
+               include_roots: bool
+               ) -> "Iterable[Tuple[FunctionSymbol, Fact, Tuple[str, ...]]]":
+    """Facts of ``kind`` inside the transitive hot closure, with the
+    call chain that makes their function hot."""
+    for qualname, path in sorted(graph.hot_paths().items()):
+        fn = graph.functions[qualname]
+        if fn.hot and not include_roots:
+            continue
+        for fact in fn.facts:
+            if fact.kind == kind:
+                yield fn, fact, path
+
+
+@register
+class TransitiveHotTelemetryRule(ProjectRule):
+    id = "ERT012"
+    title = "telemetry call in transitively hot code"
+    rationale = (
+        "`# repro: hot` flows through calls: a helper only a hot "
+        "function reaches runs per-bp/per-node too, so ERT007's "
+        "telemetry ban applies to it even without its own annotation. "
+        "Count into a local stats struct and flush at a span boundary.")
+    scope = ("repro",)
+
+    def check_project(self, graph: "ProjectGraph"
+                      ) -> "Iterable[Violation]":
+        # Annotated-hot roots are ERT007's (per-file) responsibility;
+        # this rule covers exactly the callees ERT007 cannot see.
+        for fn, fact, path in _hot_facts(graph, symbols.TELEMETRY_CALL,
+                                         include_roots=False):
+            yield _fact_violation(
+                self.id, fn, fact,
+                f"telemetry call {fact.detail}(...) in {fn.name}(), "
+                f"which is transitively hot via {_chain(path)}; count "
+                f"into a plain stats struct and flush at a span "
+                f"boundary instead")
+
+
+@register
+class HotNdarrayLoopRule(ProjectRule):
+    id = "ERT013"
+    title = "per-element Python loop over an ndarray in hot code"
+    rationale = (
+        "A Python-level loop touching one array element per iteration "
+        "pays interpreter dispatch per bp/node -- the exact cost the "
+        "vectorized-kernel roadmap item removes.  Hot code must use "
+        "whole-array numpy operations; a pragma on the loop marks it "
+        "as acknowledged vectorization debt.")
+    scope = ("repro",)
+
+    def check_project(self, graph: "ProjectGraph"
+                      ) -> "Iterable[Violation]":
+        for fn, fact, path in _hot_facts(graph, symbols.NDARRAY_LOOP,
+                                         include_roots=True):
+            where = f"hot {fn.name}()" if fn.hot else (
+                f"{fn.name}(), transitively hot via {_chain(path)}")
+            yield _fact_violation(
+                self.id, fn, fact,
+                f"per-element loop in {where}: {fact.detail}; "
+                f"replace with whole-array numpy operations (or "
+                f"annotate as vectorization debt)")
+
+
+@register
+class HotLoopAllocationRule(ProjectRule):
+    id = "ERT014"
+    title = "allocation inside a loop in hot code"
+    rationale = (
+        "Allocating a fresh buffer every iteration of a hot loop "
+        "(np.zeros, list(...) and friends) churns the allocator where "
+        "a reused workspace belongs -- compare SwWorkspace, which "
+        "hoists the Smith-Waterman DP rows out of the per-read loop.")
+    scope = ("repro",)
+
+    def check_project(self, graph: "ProjectGraph"
+                      ) -> "Iterable[Violation]":
+        for fn, fact, path in _hot_facts(graph, symbols.LOOP_ALLOC,
+                                         include_roots=True):
+            where = f"hot {fn.name}()" if fn.hot else (
+                f"{fn.name}(), transitively hot via {_chain(path)}")
+            yield _fact_violation(
+                self.id, fn, fact,
+                f"{fact.detail}(...) allocates inside a loop in {where}; "
+                f"hoist the buffer into a reused workspace "
+                f"(cf. SwWorkspace)")
+
+
+@register
+class ShmLifecycleRule(ProjectRule):
+    id = "ERT015"
+    title = "unpaired shared-memory lifecycle"
+    rationale = (
+        "A SharedMemory segment is a kernel object: created but not "
+        "registered in _LIVE_SEGMENTS it escapes the atexit sweep, and "
+        "without a construction-failure unlink handler an exception "
+        "between create and register leaks /dev/shm until reboot.  "
+        "Attach sides must close on failure or the fd leaks per batch.")
+    scope = ("repro.parallel",)
+
+    def check_project(self, graph: "ProjectGraph"
+                      ) -> "Iterable[Violation]":
+        for qualname in sorted(graph.functions):
+            fn = graph.functions[qualname]
+            for fact in fn.facts:
+                if fact.kind == symbols.SHM_CREATE:
+                    missing: "List[str]" = []
+                    if symbols.REGISTERS_SEGMENT not in fn.flags:
+                        missing.append(
+                            "registration in _LIVE_SEGMENTS")
+                    if symbols.UNLINK_IN_CLEANUP not in fn.flags:
+                        missing.append(
+                            "a construction-failure unlink handler")
+                    if missing:
+                        yield _fact_violation(
+                            self.id, fn, fact,
+                            f"SharedMemory(create=True) in {fn.name}() "
+                            f"lacks {' and '.join(missing)} "
+                            f"(cf. SharedIndexBuffer)")
+                elif fact.kind == symbols.SHM_ATTACH:
+                    if symbols.CLOSE_IN_CLEANUP not in fn.flags:
+                        yield _fact_violation(
+                            self.id, fn, fact,
+                            f"SharedMemory attach in {fn.name}() has no "
+                            f"close path on failure; wrap the use in "
+                            f"try/except and close the segment "
+                            f"(cf. attach_index)")
+
+
+@register
+class PoolCaptureSafetyRule(ProjectRule):
+    id = "ERT016"
+    title = "capture-unsafe callable crossing a pool boundary"
+    rationale = (
+        "submit() pickles its callable: a lambda fails outright under "
+        "the spawn start method, a nested def drags the enclosing "
+        "frame's captures along, and a bound method ships its whole "
+        "receiver -- potentially an index-sized object -- to every "
+        "worker.  Pool-crossing callables must be module-level "
+        "functions taking explicit, picklable arguments.")
+    scope = ("repro",)
+
+    _MESSAGES = {
+        symbols.SUBMIT_LAMBDA: (
+            "lambda submitted to an executor; lambdas do not pickle "
+            "under spawn -- pass a module-level function with explicit "
+            "arguments"),
+        symbols.SUBMIT_CLOSURE: (
+            "nested function '{detail}' submitted to an executor; it "
+            "closes over the enclosing frame -- hoist it to module "
+            "level and pass its inputs explicitly"),
+        symbols.SUBMIT_BOUND: (
+            "bound method {detail} submitted to an executor; pickling "
+            "it ships the entire receiver to the worker -- pass a "
+            "module-level function and the fields it needs"),
+    }
+
+    def check_project(self, graph: "ProjectGraph"
+                      ) -> "Iterable[Violation]":
+        for qualname in sorted(graph.functions):
+            fn = graph.functions[qualname]
+            for fact in fn.facts:
+                template = self._MESSAGES.get(fact.kind)
+                if template is None:
+                    continue
+                yield _fact_violation(
+                    self.id, fn, fact,
+                    template.format(detail=fact.detail))
+
+
+__all__ = [
+    "TransitiveHotTelemetryRule",
+    "HotNdarrayLoopRule",
+    "HotLoopAllocationRule",
+    "ShmLifecycleRule",
+    "PoolCaptureSafetyRule",
+]

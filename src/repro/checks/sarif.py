@@ -1,0 +1,135 @@
+"""SARIF 2.1.0 export for checker reports.
+
+`SARIF <https://docs.oasis-open.org/sarif/sarif/v2.1.0/sarif-v2.1.0.html>`_
+is the interchange format GitHub code scanning ingests, so a CI step can
+upload the checker's findings and have them annotate PR diffs inline.
+The document carries one run with the full rule catalogue in
+``tool.driver.rules`` (ids, short/full descriptions, scope in the
+property bag) and one ``result`` per violation with a physical location.
+
+Stdlib-only, like the rest of :mod:`repro.checks`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.checks.engine import PARSE_RULE, CheckReport, Rule, all_rules
+from repro.checks.violations import Violation
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                "master/Schemata/sarif-schema-2.1.0.json")
+
+#: Synthetic descriptor for files the parser rejects (no registered
+#: Rule object exists for it).
+_PARSE_DESCRIPTOR: "Dict[str, Any]" = {
+    "id": PARSE_RULE,
+    "name": "ParseError",
+    "shortDescription": {"text": "file failed to parse"},
+    "fullDescription": {
+        "text": "The Python parser rejected this file; no rule can run "
+                "until it parses."},
+    "defaultConfiguration": {"level": "error"},
+}
+
+
+def _artifact_uri(path: str) -> str:
+    """Repository-relative, ``/``-separated URI for a violation path."""
+    normalized = os.path.normpath(path).replace(os.sep, "/")
+    # SARIF wants relative URIs when uriBaseId is implied; strip any
+    # leading "./" the normalizer left behind.
+    if normalized.startswith("./"):
+        normalized = normalized[2:]
+    return normalized
+
+
+def _rule_descriptor(rule: Rule) -> "Dict[str, Any]":
+    properties: "Dict[str, Any]" = {
+        "pragma": f"# repro: allow({rule.id})",
+    }
+    if rule.scope is not None:
+        properties["scope"] = list(rule.scope)
+    if rule.exclude_scope:
+        properties["excludeScope"] = list(rule.exclude_scope)
+    return {
+        "id": rule.id,
+        "name": type(rule).__name__,
+        "shortDescription": {"text": rule.title},
+        "fullDescription": {"text": rule.rationale},
+        "defaultConfiguration": {"level": "error"},
+        "properties": properties,
+    }
+
+
+def _result(violation: Violation,
+            rule_index: "Dict[str, int]") -> "Dict[str, Any]":
+    region: "Dict[str, Any]" = {
+        "startLine": max(violation.line, 1),
+        "startColumn": max(violation.col, 1),
+    }
+    if violation.end_line and violation.end_line >= violation.line:
+        region["endLine"] = violation.end_line
+    result: "Dict[str, Any]" = {
+        "ruleId": violation.rule,
+        "level": "error",
+        "message": {"text": violation.message},
+        "locations": [{
+            "physicalLocation": {
+                "artifactLocation": {
+                    "uri": _artifact_uri(violation.path),
+                },
+                "region": region,
+            },
+        }],
+    }
+    index = rule_index.get(violation.rule)
+    if index is not None:
+        result["ruleIndex"] = index
+    return result
+
+
+def sarif_document(report: CheckReport,
+                   rules: "Optional[Iterable[Rule]]" = None
+                   ) -> "Dict[str, Any]":
+    """The report as a SARIF 2.1.0 document (a plain dict)."""
+    rule_list = all_rules() if rules is None else list(rules)
+    descriptors: "List[Dict[str, Any]]" = [
+        _rule_descriptor(rule) for rule in rule_list]
+    if any(v.rule == PARSE_RULE for v in report.violations):
+        descriptors.append(dict(_PARSE_DESCRIPTOR))
+    rule_index = {desc["id"]: i for i, desc in enumerate(descriptors)}
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "ert-repro-check",
+                    "informationUri":
+                        "https://example.invalid/ert-repro/static-analysis",
+                    "rules": descriptors,
+                },
+            },
+            "results": [_result(v, rule_index)
+                        for v in report.violations],
+            "properties": {
+                "filesChecked": report.files_checked,
+                "suppressed": report.suppressed,
+                "baselined": report.baselined,
+            },
+        }],
+    }
+
+
+def render_sarif(report: CheckReport,
+                 rules: "Optional[Iterable[Rule]]" = None) -> str:
+    """The report as serialized SARIF 2.1.0 JSON."""
+    return json.dumps(sarif_document(report, rules), indent=2,
+                      sort_keys=False)
+
+
+__all__ = ["SARIF_SCHEMA", "SARIF_VERSION", "render_sarif",
+           "sarif_document"]

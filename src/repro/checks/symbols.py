@@ -1,0 +1,555 @@
+"""Pass 1 of the whole-program analyzer: per-file symbol extraction.
+
+:func:`summarize` reduces one parsed :class:`~repro.checks.engine.
+SourceFile` to a :class:`ModuleSummary` -- a picklable record of every
+module-level function and method, the call sites inside each, and the
+*facts* the project rules (ERT012-ERT016) care about: telemetry calls,
+per-element ndarray loops, allocations inside loop bodies, shared-memory
+create/attach sites, and executor submissions of capture-unsafe
+callables.  Summaries carry no AST nodes, so pass 1 can run in worker
+processes (``--jobs``) and ship its results back through a pickle.
+
+Resolution here is *local*: call targets are dotted names resolved
+through the file's import-alias table plus a small per-function type
+inference (annotated parameters, ``x = SomeClass(...)`` locals).  Turning
+those dotted names into project symbols -- following re-export chains,
+method lookup through base classes -- is pass 2's job
+(:mod:`repro.checks.callgraph`).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Set, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover -- import cycle guard (engine imports us lazily)
+    from repro.checks.engine import SourceFile
+
+# -- fact kinds --------------------------------------------------------
+
+#: Direct call into the telemetry recording API (ERT007 / ERT012).
+TELEMETRY_CALL = "telemetry-call"
+#: Python-level per-element loop over an ndarray (ERT013).
+NDARRAY_LOOP = "ndarray-loop"
+#: Buffer allocation inside a loop body (ERT014).
+LOOP_ALLOC = "loop-alloc"
+#: ``SharedMemory(create=True)`` construction site (ERT015).
+SHM_CREATE = "shm-create"
+#: ``SharedMemory(name=...)`` attach site (ERT015).
+SHM_ATTACH = "shm-attach"
+#: ``.submit(<lambda>)`` -- the callable cannot cross a pool boundary
+#: without dragging its closure along (ERT016).
+SUBMIT_LAMBDA = "submit-lambda"
+#: ``.submit(<nested def>)`` -- a closure over the enclosing frame.
+SUBMIT_CLOSURE = "submit-closure"
+#: ``.submit(self.method)`` -- a bound method pickles its whole receiver.
+SUBMIT_BOUND = "submit-bound"
+
+# -- function flags ----------------------------------------------------
+
+#: The function stores the created segment into ``_LIVE_SEGMENTS``.
+REGISTERS_SEGMENT = "registers-segment"
+#: An except/finally cleanup path calls ``.unlink()``.
+UNLINK_IN_CLEANUP = "unlink-in-cleanup"
+#: An except/finally cleanup path calls ``.close()``.
+CLOSE_IN_CLEANUP = "close-in-cleanup"
+
+#: Telemetry entry points, by qualified prefix / conventional root --
+#: the same predicate ERT007 applies to annotated-hot functions.
+_TELEMETRY_ROOTS = frozenset({"telemetry", "metrics"})
+
+#: numpy constructors that allocate a fresh buffer (ERT014).  Views and
+#: wrappers (``asarray``, ``frombuffer``) are deliberately absent, as are
+#: the vectorized-op temporaries (``where``, ``maximum``): those belong
+#: to ERT013's vectorize-the-loop story, not the reuse-a-workspace one.
+_NUMPY_ALLOCATORS = frozenset({
+    "zeros", "empty", "ones", "full", "zeros_like", "empty_like",
+    "ones_like", "full_like", "array", "arange", "concatenate", "stack",
+    "vstack", "hstack", "column_stack", "tile", "repeat", "linspace",
+})
+
+#: Builtin constructors counted as list-building when called in a loop.
+_BUILTIN_ALLOCATORS = frozenset({"list", "dict", "set", "bytearray"})
+
+#: Qualified names constructing a shared-memory segment (mirrors ERT008).
+_SHM_CTORS = frozenset({
+    "multiprocessing.shared_memory.SharedMemory",
+    "shared_memory.SharedMemory",
+})
+
+#: Qualified names constructing a worker pool (for ``initializer=``
+#: capture checks).
+_POOL_CTORS = frozenset({
+    "concurrent.futures.ProcessPoolExecutor",
+    "concurrent.futures.process.ProcessPoolExecutor",
+    "multiprocessing.Pool",
+    "multiprocessing.pool.Pool",
+})
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One call expression, with its best-effort dotted target."""
+
+    target: str
+    line: int
+    col: int
+
+
+@dataclass(frozen=True)
+class Fact:
+    """One rule-relevant observation inside a function body."""
+
+    kind: str
+    line: int
+    col: int
+    end_line: int
+    detail: str = ""
+
+
+@dataclass(frozen=True)
+class FunctionSymbol:
+    """One module-level function or method."""
+
+    qualname: str
+    module: str
+    path: str
+    name: str
+    cls: "Optional[str]"
+    line: int
+    end_line: int
+    hot: bool
+    calls: "Tuple[CallSite, ...]" = ()
+    facts: "Tuple[Fact, ...]" = ()
+    flags: "frozenset[str]" = frozenset()
+
+
+@dataclass(frozen=True)
+class ClassSymbol:
+    """One module-level class (methods live in the function table)."""
+
+    qualname: str
+    module: str
+    name: str
+    line: int
+    bases: "Tuple[str, ...]" = ()
+    methods: "Tuple[str, ...]" = ()
+
+
+@dataclass(frozen=True)
+class ModuleSummary:
+    """Everything pass 2 needs to know about one file."""
+
+    module: str
+    path: str
+    #: Local name -> dotted import target (the re-export table).
+    exports: "Dict[str, str]" = field(default_factory=dict)
+    functions: "Tuple[FunctionSymbol, ...]" = ()
+    classes: "Tuple[ClassSymbol, ...]" = ()
+
+
+# ----------------------------------------------------------------------
+# Extraction
+# ----------------------------------------------------------------------
+
+
+def _attr_chain(node: ast.AST) -> "Optional[Tuple[str, Tuple[str, ...]]]":
+    """Decompose ``root.a.b`` into (root, (a, b)); None for non-chains."""
+    attrs: "List[str]" = []
+    while isinstance(node, ast.Attribute):
+        attrs.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    return node.id, tuple(reversed(attrs))
+
+
+def _annotation_dotted(annotation: "ast.expr | None",
+                       src: "SourceFile") -> "Optional[str]":
+    """Dotted name of a simple annotation (``TreeCursor``,
+    ``np.ndarray``, ``"ErtIndex"``); None for unions/subscripts."""
+    if annotation is None:
+        return None
+    if isinstance(annotation, ast.Constant) and isinstance(annotation.value, str):
+        text = annotation.value.strip()
+        if not text or not all(part.isidentifier()
+                               for part in text.split(".")):
+            return None
+        root, _, rest = text.partition(".")
+        resolved = src.imports.get(root, root)
+        return f"{resolved}.{rest}" if rest else resolved
+    if isinstance(annotation, (ast.Name, ast.Attribute)):
+        return src.qualified_name(annotation)
+    return None
+
+
+def _is_telemetry_call(qual: str) -> bool:
+    root = qual.split(".", 1)[0]
+    return qual.startswith("repro.telemetry.") or root in _TELEMETRY_ROOTS
+
+
+class _FunctionScanner:
+    """Collects call sites and facts from one function body.
+
+    Nested ``def``s and lambdas are scanned as part of their enclosing
+    function (their code only runs if the enclosing function calls it --
+    a conservative attribution for hot propagation); their *names* are
+    tracked so executor submissions of closures can be recognised.
+    """
+
+    def __init__(self, src: "SourceFile", func: ast.AST,
+                 cls: "Optional[str]") -> None:
+        self.src = src
+        self.func = func
+        self.cls = cls
+        self.calls: "List[CallSite]" = []
+        self.facts: "List[Fact]" = []
+        self.flags: "Set[str]" = set()
+        self.nested_defs: "Set[str]" = set()
+        self.arrays: "Set[str]" = set()
+        self.vartypes: "Dict[str, str]" = {}
+        self.locals: "Set[str]" = set()
+        self._prepass()
+
+    # -- local inference ----------------------------------------------
+
+    def _prepass(self) -> None:
+        """Seed local knowledge: nested defs, annotated params, and
+        ``x = ctor(...)`` assignments (two rounds, so one level of
+        forward propagation through binops/slices converges)."""
+        args = getattr(self.func, "args", None)
+        if args is not None:
+            params = list(args.posonlyargs) + list(args.args) \
+                + list(args.kwonlyargs)
+            for extra in (args.vararg, args.kwarg):
+                if extra is not None:
+                    params.append(extra)
+            for param in params:
+                self.locals.add(param.arg)
+                dotted = _annotation_dotted(param.annotation, self.src)
+                if dotted is None:
+                    continue
+                if dotted == "numpy.ndarray" or dotted.endswith(".ndarray"):
+                    self.arrays.add(param.arg)
+                else:
+                    self.vartypes[param.arg] = dotted
+        for node in ast.walk(self.func):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) \
+                    and node is not self.func:
+                self.nested_defs.add(node.name)
+        for _ in range(2):
+            for node in ast.walk(self.func):
+                if isinstance(node, ast.Assign):
+                    targets = node.targets
+                    value = node.value
+                elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                    targets = [node.target]
+                    value = node.value
+                else:
+                    continue
+                for target in targets:
+                    if not isinstance(target, ast.Name):
+                        continue
+                    self.locals.add(target.id)
+                    if self._is_array_expr(value):
+                        self.arrays.add(target.id)
+                        continue
+                    dotted = self._constructed_type(value)
+                    if dotted is not None:
+                        self.vartypes[target.id] = dotted
+
+    def _constructed_type(self, value: ast.expr) -> "Optional[str]":
+        """Dotted class name for ``x = SomeClass(...)`` (heuristic: the
+        constructor's last segment is Capitalized)."""
+        if not isinstance(value, ast.Call):
+            return None
+        qual = self.src.qualified_name(value.func)
+        if qual is None:
+            return None
+        last = qual.rsplit(".", 1)[-1]
+        if last[:1].isupper():
+            return qual
+        return None
+
+    def _is_array_expr(self, node: ast.expr) -> bool:
+        """Does this expression evaluate to an ndarray, as far as local
+        inference can tell?"""
+        if isinstance(node, ast.Name):
+            return node.id in self.arrays
+        if isinstance(node, ast.Call):
+            qual = self.src.qualified_name(node.func)
+            return qual is not None and qual.startswith("numpy.")
+        if isinstance(node, ast.Subscript):
+            # Slicing an array yields an array; scalar indexing does not.
+            return (isinstance(node.slice, ast.Slice)
+                    and self._is_array_expr(node.value))
+        if isinstance(node, ast.BinOp):
+            return (self._is_array_expr(node.left)
+                    or self._is_array_expr(node.right))
+        if isinstance(node, ast.UnaryOp):
+            return self._is_array_expr(node.operand)
+        if isinstance(node, ast.IfExp):
+            return (self._is_array_expr(node.body)
+                    or self._is_array_expr(node.orelse))
+        return False
+
+    # -- call-target resolution ---------------------------------------
+
+    def _call_target(self, func: ast.expr) -> "Optional[str]":
+        chain = _attr_chain(func)
+        if chain is None:
+            return None
+        root, attrs = chain
+        if not attrs:
+            if root in self.nested_defs or root in self.locals:
+                return None
+            resolved = self.src.imports.get(root)
+            if resolved is not None:
+                return resolved
+            return f"{self.src.module}.{root}" if self.src.module else root
+        if root in ("self", "cls") and self.cls is not None:
+            base = f"{self.src.module}.{self.cls}" if self.src.module \
+                else self.cls
+            return ".".join((base,) + attrs)
+        if root in self.vartypes:
+            return ".".join((self.vartypes[root],) + attrs)
+        if root in self.locals:
+            return None
+        return self.src.qualified_name(func)
+
+    # -- the scan ------------------------------------------------------
+
+    def scan(self) -> None:
+        body = getattr(self.func, "body", [])
+        for stmt in body:
+            self._visit(stmt, in_loop=False)
+
+    def _visit(self, node: ast.AST, in_loop: bool) -> None:
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            self._check_ndarray_loop(node)
+            for child in ast.iter_child_nodes(node):
+                self._visit(child, in_loop=True)
+            return
+        if isinstance(node, ast.While):
+            for child in ast.iter_child_nodes(node):
+                self._visit(child, in_loop=True)
+            return
+        if isinstance(node, ast.Call):
+            self._check_call(node, in_loop)
+        elif isinstance(node, ast.Assign):
+            self._check_registration(node)
+        elif isinstance(node, (ast.ExceptHandler, ast.Try)):
+            self._check_cleanup(node)
+        for child in ast.iter_child_nodes(node):
+            self._visit(child, in_loop)
+
+    def _fact(self, kind: str, node: ast.AST, detail: str = "") -> None:
+        line = getattr(node, "lineno", 0)
+        self.facts.append(Fact(
+            kind=kind, line=line, col=getattr(node, "col_offset", 0) + 1,
+            end_line=getattr(node, "end_lineno", None) or line,
+            detail=detail))
+
+    def _check_call(self, node: ast.Call, in_loop: bool) -> None:
+        qual = self._call_target(node.func)
+        if qual is not None:
+            self.calls.append(CallSite(target=qual, line=node.lineno,
+                                       col=node.col_offset + 1))
+            if _is_telemetry_call(qual):
+                self._fact(TELEMETRY_CALL, node, detail=qual)
+            if qual in _SHM_CTORS:
+                self._check_shm(node)
+            if in_loop and self._is_allocator(node, qual):
+                self._fact(LOOP_ALLOC, node, detail=qual)
+            if qual in _POOL_CTORS:
+                self._check_pool_ctor(node)
+        elif in_loop and self._is_allocator(node, None):
+            self._fact(LOOP_ALLOC, node,
+                       detail=self.src.qualified_name(node.func) or "list")
+        if (isinstance(node.func, ast.Attribute)
+                and node.func.attr == "submit" and node.args):
+            self._check_submit_arg(node, node.args[0])
+
+    def _is_allocator(self, node: ast.Call, qual: "Optional[str]") -> bool:
+        if qual is not None and qual.startswith("numpy."):
+            return qual.rsplit(".", 1)[-1] in _NUMPY_ALLOCATORS
+        func = node.func
+        return (isinstance(func, ast.Name)
+                and func.id in _BUILTIN_ALLOCATORS
+                and self.src.imports.get(func.id, func.id) == func.id)
+
+    def _check_shm(self, node: ast.Call) -> None:
+        create = any(kw.arg == "create"
+                     and isinstance(kw.value, ast.Constant)
+                     and kw.value.value is True
+                     for kw in node.keywords)
+        self._fact(SHM_CREATE if create else SHM_ATTACH, node)
+
+    def _check_pool_ctor(self, node: ast.Call) -> None:
+        for kw in node.keywords:
+            if kw.arg == "initializer":
+                self._check_submit_arg(node, kw.value)
+
+    def _check_submit_arg(self, call: ast.Call, arg: ast.expr) -> None:
+        """Is the callable handed to an executor capture-safe?"""
+        if isinstance(arg, ast.Lambda):
+            self._fact(SUBMIT_LAMBDA, call)
+            return
+        if isinstance(arg, ast.Name) and arg.id in self.nested_defs:
+            self._fact(SUBMIT_CLOSURE, call, detail=arg.id)
+            return
+        if isinstance(arg, ast.Attribute):
+            chain = _attr_chain(arg)
+            if chain is not None and chain[0] in ("self", "cls"):
+                self._fact(SUBMIT_BOUND, call,
+                           detail=".".join((chain[0],) + chain[1]))
+
+    def _check_registration(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            if (isinstance(target, ast.Subscript)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "_LIVE_SEGMENTS"):
+                self.flags.add(REGISTERS_SEGMENT)
+
+    def _check_cleanup(self, node: ast.AST) -> None:
+        """except handlers and finally blocks count as the cleanup path
+        for the shm lifecycle rule."""
+        bodies: "List[List[ast.stmt]]" = []
+        if isinstance(node, ast.ExceptHandler):
+            bodies.append(node.body)
+        elif isinstance(node, ast.Try) and node.finalbody:
+            bodies.append(node.finalbody)
+        for body in bodies:
+            for stmt in body:
+                for sub in ast.walk(stmt):
+                    if (isinstance(sub, ast.Call)
+                            and isinstance(sub.func, ast.Attribute)):
+                        if sub.func.attr == "unlink":
+                            self.flags.add(UNLINK_IN_CLEANUP)
+                        elif sub.func.attr == "close":
+                            self.flags.add(CLOSE_IN_CLEANUP)
+
+    def _check_ndarray_loop(self, node: "ast.For | ast.AsyncFor") -> None:
+        iterable = node.iter
+        # `for i, x in enumerate(xs)` iterates xs.
+        if (isinstance(iterable, ast.Call)
+                and isinstance(iterable.func, ast.Name)
+                and iterable.func.id == "enumerate" and iterable.args):
+            iterable = iterable.args[0]
+        if self._is_array_expr(iterable):
+            self._fact(NDARRAY_LOOP, node,
+                       detail="iterates element-wise over an ndarray")
+            return
+        if not (isinstance(iterable, ast.Call)
+                and isinstance(iterable.func, ast.Name)
+                and iterable.func.id == "range"):
+            return
+        loop_vars = self._loop_vars(node.target)
+        if not loop_vars:
+            return
+        for stmt in node.body:
+            for sub in ast.walk(stmt):
+                if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                    ast.For, ast.AsyncFor)):
+                    continue
+                if (isinstance(sub, ast.Subscript)
+                        and isinstance(sub.slice, ast.Name)
+                        and sub.slice.id in loop_vars
+                        and self._is_array_expr(sub.value)):
+                    name = sub.value.id if isinstance(sub.value, ast.Name) \
+                        else "an ndarray"
+                    self._fact(NDARRAY_LOOP, sub,
+                               detail=f"indexes {name} element-by-element "
+                                      f"with loop variable "
+                                      f"'{sub.slice.id}'")
+                    return
+
+    @staticmethod
+    def _loop_vars(target: ast.expr) -> "Set[str]":
+        names: "Set[str]" = set()
+        for node in ast.walk(target):
+            if isinstance(node, ast.Name):
+                names.add(node.id)
+        return names
+
+
+# ----------------------------------------------------------------------
+# Module walk
+# ----------------------------------------------------------------------
+
+
+def _iter_functions(tree: ast.AST) \
+        -> "Iterator[Tuple[ast.AST, Optional[str]]]":
+    """Module-level functions and class methods (one nesting level --
+    matching how this repository lays out code)."""
+    body = getattr(tree, "body", [])
+    for stmt in body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield stmt, None
+        elif isinstance(stmt, ast.ClassDef):
+            for sub in stmt.body:
+                if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    yield sub, stmt.name
+
+
+def summarize(src: "SourceFile") -> ModuleSummary:
+    """Reduce ``src`` to the picklable per-file record pass 2 consumes."""
+    module = src.module or ""
+    functions: "List[FunctionSymbol]" = []
+    classes: "List[ClassSymbol]" = []
+    for stmt in getattr(src.tree, "body", []):
+        if not isinstance(stmt, ast.ClassDef):
+            continue
+        bases: "List[str]" = []
+        for base in stmt.bases:
+            dotted = src.qualified_name(base)
+            if dotted is None:
+                continue
+            if "." not in dotted and module:
+                dotted = f"{module}.{dotted}"
+            bases.append(dotted)
+        methods = tuple(sub.name for sub in stmt.body
+                        if isinstance(sub, (ast.FunctionDef,
+                                            ast.AsyncFunctionDef)))
+        classes.append(ClassSymbol(
+            qualname=f"{module}.{stmt.name}" if module else stmt.name,
+            module=module, name=stmt.name, line=stmt.lineno,
+            bases=tuple(bases), methods=methods))
+    for func, cls in _iter_functions(src.tree):
+        name = getattr(func, "name", "<function>")
+        parts = [p for p in (module, cls, name) if p]
+        scanner = _FunctionScanner(src, func, cls)
+        scanner.scan()
+        functions.append(FunctionSymbol(
+            qualname=".".join(parts), module=module, path=src.path,
+            name=name, cls=cls, line=func.lineno,
+            end_line=getattr(func, "end_lineno", None) or func.lineno,
+            hot=src.pragmas.is_hot(func.lineno),
+            calls=tuple(scanner.calls), facts=tuple(scanner.facts),
+            flags=frozenset(scanner.flags)))
+    return ModuleSummary(module=module, path=src.path,
+                         exports=dict(src.imports),
+                         functions=tuple(functions),
+                         classes=tuple(classes))
+
+
+__all__ = [
+    "CallSite",
+    "ClassSymbol",
+    "Fact",
+    "FunctionSymbol",
+    "ModuleSummary",
+    "summarize",
+    "TELEMETRY_CALL",
+    "NDARRAY_LOOP",
+    "LOOP_ALLOC",
+    "SHM_CREATE",
+    "SHM_ATTACH",
+    "SUBMIT_LAMBDA",
+    "SUBMIT_CLOSURE",
+    "SUBMIT_BOUND",
+    "REGISTERS_SEGMENT",
+    "UNLINK_IN_CLEANUP",
+    "CLOSE_IN_CLEANUP",
+]

@@ -164,7 +164,11 @@ class ErtSeedingEngine(SeedingEngine):
                 and index.entry_kind[code] == EntryKind.TABLE
                 and n - pos >= x):
             subcode = 0
-            for c in seq[pos:pos + x]:
+            # Vectorization debt (ROADMAP item 1): x is <= 4 in every
+            # published config, so packing the subcode stays cheaper in
+            # Python than a np.dot over shift weights; revisit when the
+            # walk itself moves into a batched kernel.
+            for c in seq[pos:pos + x]:  # repro: allow(ERT013)
                 subcode = (subcode << 2) | int(c)
             index.trace_table_entry(code, subcode)
             entry = index.tables[code][subcode]

@@ -80,8 +80,9 @@ class AlignmentResult:
         return self.score > 0
 
 
-# repro: hot -- SeedEx SW lane equivalent; row buffers come from the
-# caller's workspace so the per-row cost is a fill, not an allocation.
+# SeedEx SW lane equivalent; row buffers come from the caller's
+# workspace so the per-row cost is a fill, not an allocation.
+# repro: hot
 def banded_smith_waterman(query: np.ndarray, target: np.ndarray,
                           scheme: "ScoringScheme | None" = None,
                           band: int = 41,
@@ -130,9 +131,12 @@ def banded_smith_waterman(query: np.ndarray, target: np.ndarray,
         f = NEG_INF
         row_best = NEG_INF
         row_best_j = lo
+        # Vectorization debt (ROADMAP item 1): the F recurrence is a
+        # serial max-scan (f depends on the previous cell), so this scan
+        # needs a prefix-max kernel, not a plain whole-array rewrite.
         for off, j in enumerate(range(lo, hi + 1)):
             f = max(h_cur[j - 1] + scheme.gap_open, f + scheme.gap_extend)
-            h = max(0, diag[off], int(e_cur[j]), f)
+            h = max(0, diag[off], int(e_cur[j]), f)  # repro: allow(ERT013)
             h_cur[j] = h
             if h > row_best:
                 row_best, row_best_j = h, j

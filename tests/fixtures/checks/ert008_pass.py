@@ -1,12 +1,22 @@
 """ERT008 passing fixture: worker fan-out routed through repro.parallel
-(and the same constructors are legal inside repro.parallel itself)."""
+(and the same constructors are legal inside repro.parallel itself --
+provided they follow the ERT015 lifecycle discipline)."""
 # repro: module(repro.parallel.fake)
 
 from concurrent.futures import ProcessPoolExecutor
 from multiprocessing import shared_memory
 
+_LIVE_SEGMENTS = {}
+
 
 def fan_out(payload, work_batches, initargs):
     segment = shared_memory.SharedMemory(create=True, size=len(payload))
+    try:
+        segment.buf[: len(payload)] = payload
+    except BaseException:
+        segment.close()
+        segment.unlink()
+        raise
+    _LIVE_SEGMENTS[segment.name] = segment
     pool = ProcessPoolExecutor(max_workers=4, initargs=initargs)
     return pool, segment

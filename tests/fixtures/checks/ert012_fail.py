@@ -1,0 +1,20 @@
+"""ERT012 failing fixture: the hot walk never calls telemetry itself --
+the violation lives in an un-annotated helper only the walk reaches, so
+per-file ERT007 is blind to it and the call graph has to carry the hot
+bit across the edge."""
+# repro: module(repro.core.fake)
+
+from repro import telemetry
+
+
+# repro: hot
+def walk(nodes):
+    emitted = 0
+    for node in nodes:
+        emitted += consume(node)
+    return emitted
+
+
+def consume(node):
+    telemetry.count("walker.nodes")
+    return 1

@@ -1,0 +1,26 @@
+"""ERT012 passing fixture: the transitively hot helper counts into a
+plain stats dict; the non-hot driver flushes the total to telemetry
+after the walk returns (a span boundary)."""
+# repro: module(repro.core.fake)
+
+from repro import telemetry
+
+
+def drive(nodes):
+    stats = {"nodes": 0}
+    emitted = walk(nodes, stats)
+    telemetry.add_counters({"walker.nodes": stats["nodes"]})
+    return emitted
+
+
+# repro: hot
+def walk(nodes, stats):
+    emitted = 0
+    for node in nodes:
+        emitted += consume(node, stats)
+    return emitted
+
+
+def consume(node, stats):
+    stats["nodes"] += 1
+    return 1

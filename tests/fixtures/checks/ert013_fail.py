@@ -1,0 +1,14 @@
+"""ERT013 failing fixture: a hot function pays interpreter dispatch per
+base pair -- one Python iteration (and two scalar subscripts) per
+element of the ndarray."""
+# repro: module(repro.core.fake)
+
+import numpy as np
+
+
+# repro: hot
+def dot_scores(query: np.ndarray, ref: np.ndarray) -> int:
+    total = 0
+    for i in range(query.size):
+        total += int(query[i]) * int(ref[i])
+    return total

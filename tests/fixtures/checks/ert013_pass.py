@@ -1,0 +1,10 @@
+"""ERT013 passing fixture: the same reduction as whole-array numpy
+work -- one call, no per-element Python loop."""
+# repro: module(repro.core.fake)
+
+import numpy as np
+
+
+# repro: hot
+def dot_scores(query: np.ndarray, ref: np.ndarray) -> int:
+    return int(np.dot(query.astype(np.int64), ref.astype(np.int64)))

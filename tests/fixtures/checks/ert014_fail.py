@@ -1,0 +1,15 @@
+"""ERT014 failing fixture: a fresh row buffer is allocated on every
+iteration of a hot loop instead of reusing a workspace."""
+# repro: module(repro.core.fake)
+
+import numpy as np
+
+
+# repro: hot
+def score_rows(batches, width):
+    best = 0
+    for batch in batches:
+        row = np.zeros(width, dtype=np.int32)
+        row[: len(batch)] = batch
+        best = max(best, int(row.max()))
+    return best

@@ -1,0 +1,16 @@
+"""ERT014 passing fixture: the row buffer is hoisted out of the hot
+loop and refilled per iteration (the SwWorkspace pattern)."""
+# repro: module(repro.core.fake)
+
+import numpy as np
+
+
+# repro: hot
+def score_rows(batches, width):
+    best = 0
+    row = np.zeros(width, dtype=np.int32)
+    for batch in batches:
+        row[:] = 0
+        row[: len(batch)] = batch
+        best = max(best, int(row.max()))
+    return best

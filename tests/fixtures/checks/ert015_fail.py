@@ -1,0 +1,17 @@
+"""ERT015 failing fixture: a segment created with no _LIVE_SEGMENTS
+registration and no construction-failure unlink (an exception after the
+create leaks /dev/shm), and an attach with no close path."""
+# repro: module(repro.parallel.fake)
+
+from multiprocessing import shared_memory
+
+
+def publish(payload):
+    seg = shared_memory.SharedMemory(create=True, size=len(payload))
+    seg.buf[: len(payload)] = payload
+    return seg.name
+
+
+def attach(name, size):
+    seg = shared_memory.SharedMemory(name=name)
+    return bytes(seg.buf[:size])

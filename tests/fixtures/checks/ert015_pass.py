@@ -1,0 +1,29 @@
+"""ERT015 passing fixture: the SharedIndexBuffer discipline -- the
+create side unlinks on construction failure and registers the live
+segment for the atexit sweep; the attach side closes on failure."""
+# repro: module(repro.parallel.fake)
+
+from multiprocessing import shared_memory
+
+_LIVE_SEGMENTS = {}
+
+
+def publish(payload):
+    seg = shared_memory.SharedMemory(create=True, size=len(payload))
+    try:
+        seg.buf[: len(payload)] = payload
+    except BaseException:
+        seg.close()
+        seg.unlink()
+        raise
+    _LIVE_SEGMENTS[seg.name] = seg
+    return seg.name
+
+
+def attach(name, size):
+    seg = shared_memory.SharedMemory(name=name)
+    try:
+        return bytes(seg.buf[:size])
+    except BaseException:
+        seg.close()
+        raise

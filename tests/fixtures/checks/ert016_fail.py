@@ -1,0 +1,19 @@
+"""ERT016 failing fixture: three capture-unsafe callables cross the
+pool boundary -- a closure over the enclosing frame, a lambda, and a
+bound method that would pickle its whole receiver."""
+# repro: module(repro.parallel.fake)
+
+
+class Dispatcher:
+    def __init__(self, pool, index):
+        self._pool = pool
+        self._index = index
+
+    def dispatch(self, batch):
+        def run():
+            return sum(batch)
+
+        first = self._pool.submit(run)
+        second = self._pool.submit(lambda: sum(batch))
+        third = self._pool.submit(self._index.lookup_all, batch)
+        return first, second, third

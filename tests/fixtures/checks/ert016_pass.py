@@ -1,0 +1,16 @@
+"""ERT016 passing fixture: the submitted callable is a module-level
+function with explicit, picklable arguments."""
+# repro: module(repro.parallel.fake)
+
+
+def _run_batch(batch, lookup_table):
+    return [lookup_table.get(item, 0) for item in batch]
+
+
+class Dispatcher:
+    def __init__(self, pool, lookup_table):
+        self._pool = pool
+        self._table = dict(lookup_table)
+
+    def dispatch(self, batch):
+        return self._pool.submit(_run_batch, list(batch), self._table)

@@ -1,0 +1,342 @@
+"""Unit tests for the whole-program pass-1/pass-2 machinery:
+symbol extraction (repro.checks.symbols), call-target resolution through
+aliased imports / methods / re-export chains, and hot propagation
+(repro.checks.callgraph)."""
+
+from repro.checks.callgraph import build_graph
+from repro.checks.engine import scan_source
+from repro.checks.symbols import (
+    LOOP_ALLOC,
+    NDARRAY_LOOP,
+    TELEMETRY_CALL,
+    summarize,
+)
+
+
+def graph_of(*named_sources):
+    """Build a ProjectGraph from (path, source, module) triples."""
+    summaries = []
+    for path, source, module in named_sources:
+        scan = scan_source(path, source, module=module)
+        assert scan.summary is not None, f"{path} failed to parse"
+        summaries.append(scan.summary)
+    return build_graph(summaries)
+
+
+# ----------------------------------------------------------------------
+# Resolution: aliased imports
+# ----------------------------------------------------------------------
+
+
+def test_resolves_module_alias_import():
+    graph = graph_of(
+        ("a.py",
+         "import repro.fake.util as u\n"
+         "def caller():\n"
+         "    return u.helper()\n",
+         "repro.fake.main"),
+        ("b.py",
+         "def helper():\n"
+         "    return 1\n",
+         "repro.fake.util"),
+    )
+    assert graph.edges["repro.fake.main.caller"] == (
+        "repro.fake.util.helper",)
+
+
+def test_resolves_from_import_alias():
+    graph = graph_of(
+        ("a.py",
+         "from repro.fake.util import helper as h\n"
+         "def caller():\n"
+         "    return h()\n",
+         "repro.fake.main"),
+        ("b.py",
+         "def helper():\n"
+         "    return 1\n",
+         "repro.fake.util"),
+    )
+    assert graph.edges["repro.fake.main.caller"] == (
+        "repro.fake.util.helper",)
+
+
+def test_same_module_call_resolves_without_import():
+    graph = graph_of(
+        ("a.py",
+         "def caller():\n"
+         "    return helper()\n"
+         "def helper():\n"
+         "    return 1\n",
+         "repro.fake.main"),
+    )
+    assert graph.edges["repro.fake.main.caller"] == (
+        "repro.fake.main.helper",)
+
+
+def test_local_shadowing_blocks_resolution():
+    graph = graph_of(
+        ("a.py",
+         "def caller(helper):\n"
+         "    return helper()\n"
+         "def helper():\n"
+         "    return 1\n",
+         "repro.fake.main"),
+    )
+    # `helper` is a parameter: the call must NOT bind to the module
+    # function (conservative = no edge).
+    assert graph.edges["repro.fake.main.caller"] == ()
+
+
+# ----------------------------------------------------------------------
+# Resolution: methods and constructors
+# ----------------------------------------------------------------------
+
+CLASS_SOURCE = (
+    "class Cursor:\n"
+    "    def __init__(self, index):\n"
+    "        self.index = index\n"
+    "        self._settle()\n"
+    "    def _settle(self):\n"
+    "        return None\n"
+    "    def advance(self, c):\n"
+    "        self._settle()\n"
+    "        return c\n"
+)
+
+
+def test_self_call_resolves_to_sibling_method():
+    graph = graph_of(("w.py", CLASS_SOURCE, "repro.fake.walker"))
+    assert graph.edges["repro.fake.walker.Cursor.advance"] == (
+        "repro.fake.walker.Cursor._settle",)
+
+
+def test_class_call_resolves_to_init():
+    graph = graph_of(
+        ("w.py", CLASS_SOURCE, "repro.fake.walker"),
+        ("e.py",
+         "from repro.fake.walker import Cursor\n"
+         "def run(index):\n"
+         "    cursor = Cursor(index)\n"
+         "    return cursor.advance(0)\n",
+         "repro.fake.engine"),
+    )
+    # Both the constructor call and the method call through the typed
+    # local resolve.
+    assert graph.edges["repro.fake.engine.run"] == (
+        "repro.fake.walker.Cursor.__init__",
+        "repro.fake.walker.Cursor.advance",
+    )
+
+
+def test_method_resolution_falls_back_to_base_class():
+    graph = graph_of(
+        ("base.py",
+         "class Base:\n"
+         "    def shared(self):\n"
+         "        return 1\n",
+         "repro.fake.base"),
+        ("derived.py",
+         "from repro.fake.base import Base\n"
+         "class Derived(Base):\n"
+         "    def run(self):\n"
+         "        return self.shared()\n",
+         "repro.fake.derived"),
+    )
+    assert graph.edges["repro.fake.derived.Derived.run"] == (
+        "repro.fake.base.Base.shared",)
+
+
+def test_annotated_parameter_types_calls():
+    graph = graph_of(
+        ("w.py", CLASS_SOURCE, "repro.fake.walker"),
+        ("e.py",
+         "from repro.fake.walker import Cursor\n"
+         "def run(cursor: Cursor):\n"
+         "    return cursor.advance(0)\n",
+         "repro.fake.engine"),
+    )
+    assert graph.edges["repro.fake.engine.run"] == (
+        "repro.fake.walker.Cursor.advance",)
+
+
+# ----------------------------------------------------------------------
+# Resolution: re-export chains
+# ----------------------------------------------------------------------
+
+
+def test_resolution_follows_reexport_chain():
+    graph = graph_of(
+        # repro/fake/__init__.py re-exports from the impl module.
+        ("repro/fake/__init__.py",
+         "from repro.fake.impl import helper\n",
+         "repro.fake"),
+        ("impl.py",
+         "def helper():\n"
+         "    return 1\n",
+         "repro.fake.impl"),
+        ("user.py",
+         "import repro.fake\n"
+         "def caller():\n"
+         "    return repro.fake.helper()\n",
+         "repro.other.user"),
+    )
+    assert graph.edges["repro.other.user.caller"] == (
+        "repro.fake.impl.helper",)
+
+
+def test_reexported_class_resolves_to_init():
+    graph = graph_of(
+        ("repro/fake/__init__.py",
+         "from repro.fake.walker import Cursor\n",
+         "repro.fake"),
+        ("w.py", CLASS_SOURCE, "repro.fake.walker"),
+        ("user.py",
+         "from repro.fake import Cursor\n"
+         "def caller(index):\n"
+         "    return Cursor(index)\n",
+         "repro.other.user"),
+    )
+    assert graph.edges["repro.other.user.caller"] == (
+        "repro.fake.walker.Cursor.__init__",)
+
+
+def test_reexport_cycle_terminates():
+    graph = graph_of(
+        ("a/__init__.py", "from repro.b import thing\n", "repro.a"),
+        ("b/__init__.py", "from repro.a import thing\n", "repro.b"),
+        ("user.py",
+         "import repro.a\n"
+         "def caller():\n"
+         "    return repro.a.thing()\n",
+         "repro.user"),
+    )
+    # Unresolvable, but must not hang or raise.
+    assert graph.edges["repro.user.caller"] == ()
+
+
+# ----------------------------------------------------------------------
+# Hot propagation
+# ----------------------------------------------------------------------
+
+
+def test_hot_closure_crosses_modules_with_path():
+    graph = graph_of(
+        ("a.py",
+         "from repro.fake.util import helper\n"
+         "# repro: hot\n"
+         "def walk():\n"
+         "    return helper()\n",
+         "repro.fake.main"),
+        ("b.py",
+         "def helper():\n"
+         "    return leaf()\n"
+         "def leaf():\n"
+         "    return 1\n",
+         "repro.fake.util"),
+    )
+    hot = graph.hot_paths()
+    assert set(hot) == {"repro.fake.main.walk", "repro.fake.util.helper",
+                        "repro.fake.util.leaf"}
+    assert hot["repro.fake.util.leaf"] == (
+        "repro.fake.main.walk", "repro.fake.util.helper",
+        "repro.fake.util.leaf")
+
+
+def test_hot_closure_ignores_callers_of_hot_functions():
+    graph = graph_of(
+        ("a.py",
+         "# repro: hot\n"
+         "def walk():\n"
+         "    return 1\n"
+         "def driver():\n"
+         "    return walk()\n",
+         "repro.fake.main"),
+    )
+    assert set(graph.hot_paths()) == {"repro.fake.main.walk"}
+
+
+# ----------------------------------------------------------------------
+# Fact extraction details
+# ----------------------------------------------------------------------
+
+
+def source_facts(source, module="repro.fake.mod"):
+    scan = scan_source("mod.py", source, module=module)
+    assert scan.summary is not None
+    return {fn.name: [f.kind for f in fn.facts]
+            for fn in scan.summary.functions}
+
+
+def test_telemetry_fact_recorded_per_function():
+    facts = source_facts(
+        "from repro import telemetry\n"
+        "def a():\n"
+        "    telemetry.count('x')\n"
+        "def b():\n"
+        "    return 1\n")
+    assert facts == {"a": [TELEMETRY_CALL], "b": []}
+
+
+def test_ndarray_loop_fact_requires_array_evidence():
+    facts = source_facts(
+        "import numpy as np\n"
+        "def flagged(xs: np.ndarray):\n"
+        "    total = 0\n"
+        "    for i in range(xs.size):\n"
+        "        total += int(xs[i])\n"
+        "    return total\n"
+        "def clean(items):\n"
+        "    total = 0\n"
+        "    for i in range(len(items)):\n"
+        "        total += items[i]\n"
+        "    return total\n")
+    assert facts == {"flagged": [NDARRAY_LOOP], "clean": []}
+
+
+def test_loop_alloc_fact_only_inside_loops():
+    facts = source_facts(
+        "import numpy as np\n"
+        "def flagged(n):\n"
+        "    out = []\n"
+        "    for _ in range(n):\n"
+        "        row = np.zeros(4)\n"
+        "        out.append(row)\n"
+        "    return out\n"
+        "def clean(n):\n"
+        "    row = np.zeros(4)\n"
+        "    return [row] * n\n")
+    assert facts == {"flagged": [LOOP_ALLOC], "clean": []}
+
+
+def test_array_inference_propagates_through_expressions():
+    facts = source_facts(
+        "import numpy as np\n"
+        "def flagged(base: np.ndarray):\n"
+        "    derived = base[1:] + np.ones(3)\n"
+        "    total = 0\n"
+        "    for i in range(derived.size):\n"
+        "        total += int(derived[i])\n"
+        "    return total\n")
+    assert facts == {"flagged": [NDARRAY_LOOP]}
+
+
+def test_summary_is_picklable():
+    import pickle
+    scan = scan_source("w.py", CLASS_SOURCE, module="repro.fake.walker")
+    clone = pickle.loads(pickle.dumps(scan))
+    assert clone.summary == scan.summary
+    assert clone.path == scan.path
+
+
+def test_summarize_marks_hot_functions():
+    from repro.checks.engine import SourceFile
+    src = SourceFile("m.py",
+                     "# repro: hot\n"
+                     "def walk():\n"
+                     "    return 1\n"
+                     "def cold():\n"
+                     "    return 2\n",
+                     module="repro.fake.mod")
+    summary = summarize(src)
+    hot = {fn.name: fn.hot for fn in summary.functions}
+    assert hot == {"walk": True, "cold": False}

@@ -30,7 +30,10 @@ from repro.checks.engine import CheckReport, module_name_for_path
 FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures", "checks")
 REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 RULE_IDS = ("ERT001", "ERT002", "ERT003", "ERT004", "ERT005", "ERT006",
-            "ERT007", "ERT008", "ERT009", "ERT010", "ERT011")
+            "ERT007", "ERT008", "ERT009", "ERT010", "ERT011", "ERT012",
+            "ERT013", "ERT014", "ERT015", "ERT016")
+#: Rules that run in the whole-program pass (ProjectRule subclasses).
+PROJECT_RULE_IDS = ("ERT012", "ERT013", "ERT014", "ERT015", "ERT016")
 
 
 def fixture(name):
@@ -199,11 +202,12 @@ def test_json_report_schema():
     report = run_checks([fixture("ert006_fail.py"),
                          fixture("ert006_pass.py")], excludes=())
     doc = report_as_dict(report)
-    assert doc["version"] == 1
+    assert doc["version"] == 2
     assert doc["files_checked"] == 2
     assert doc["violation_count"] == len(doc["violations"]) == 2
     assert doc["counts"] == {"ERT006": 2}
     assert isinstance(doc["suppressed"], int)
+    assert doc["baselined"] == 0
     for violation in doc["violations"]:
         assert set(violation) == {"rule", "path", "line", "col", "message"}
         assert violation["rule"] == "ERT006"
@@ -264,6 +268,273 @@ def test_ert_repro_check_subcommand():
     )
     assert proc.returncode == 1
     assert "ERT006" in proc.stdout
+
+
+# ----------------------------------------------------------------------
+# The whole-program pass (ERT012-ERT016)
+# ----------------------------------------------------------------------
+
+
+def test_project_rules_are_project_pass():
+    from repro.checks import ProjectRule
+    kinds = {rule.id: isinstance(rule, ProjectRule) for rule in all_rules()}
+    for rule_id in RULE_IDS:
+        assert kinds[rule_id] == (rule_id in PROJECT_RULE_IDS)
+
+
+def test_ert012_reaches_unannotated_callee():
+    """The acceptance criterion: the hot bit crosses a call edge into a
+    helper that carries no ``# repro: hot`` annotation of its own."""
+    path = fixture("ert012_fail.py")
+    with open(path, encoding="utf-8") as handle:
+        source = handle.read()
+    violations, _ = check_file(path)
+    assert [v.rule for v in violations] == ["ERT012"]
+    violation = violations[0]
+    # The violation is inside consume(), which is not annotated ...
+    assert "consume()" in violation.message
+    lines = source.splitlines()
+    def_line = next(i for i, text in enumerate(lines, 1)
+                    if text.startswith("def consume"))
+    assert "hot" not in lines[def_line - 2]
+    assert def_line < violation.line
+    # ... and the message names the hot root and the call chain.
+    assert "walk()" in violation.message
+    assert "->" in violation.message
+
+
+def test_project_rules_cross_module(tmp_path):
+    """Hot caller in one file, telemetry helper in another: only the
+    assembled project graph can connect them."""
+    pkg = tmp_path / "proj"
+    pkg.mkdir()
+    (pkg / "hotpath.py").write_text(
+        "# repro: module(repro.core.fake_hot)\n"
+        "from repro.core.fake_util import emit\n"
+        "\n"
+        "\n"
+        "# repro: hot\n"
+        "def walk(nodes):\n"
+        "    for node in nodes:\n"
+        "        emit(node)\n"
+    )
+    (pkg / "util.py").write_text(
+        "# repro: module(repro.core.fake_util)\n"
+        "from repro import telemetry\n"
+        "\n"
+        "\n"
+        "def emit(node):\n"
+        "    telemetry.count('nodes')\n"
+    )
+    report = run_checks([str(pkg)], excludes=())
+    assert [v.rule for v in report.violations] == ["ERT012"]
+    assert report.violations[0].path.endswith("util.py")
+    assert "fake_hot.walk()" in report.violations[0].message
+
+
+def test_project_violation_suppressed_by_callee_file_pragma():
+    source = (
+        "# repro: module(repro.core.fake)\n"
+        "from repro import telemetry\n"
+        "\n"
+        "\n"
+        "# repro: hot\n"
+        "def walk(nodes):\n"
+        "    for node in nodes:\n"
+        "        consume(node)\n"
+        "\n"
+        "\n"
+        "def consume(node):\n"
+        "    telemetry.count('n')  # repro: allow(ERT012)\n"
+    )
+    violations, suppressed = check_source("snippet.py", source)
+    assert violations == []
+    assert suppressed == 1
+
+
+def test_run_checks_jobs_output_is_deterministic():
+    """Parallel pass 1 must produce a byte-identical report."""
+    paths = [FIXTURES]
+    serial = run_checks(paths, excludes=())
+    parallel = run_checks(paths, excludes=(), jobs=2)
+    assert serial.violations == parallel.violations
+    assert serial.files_checked == parallel.files_checked
+    assert serial.suppressed == parallel.suppressed
+
+
+# ----------------------------------------------------------------------
+# SARIF export
+# ----------------------------------------------------------------------
+
+
+def test_sarif_document_structure():
+    from repro.checks import render_sarif
+    report = run_checks([fixture("ert006_fail.py")], excludes=())
+    doc = json.loads(render_sarif(report))
+    assert doc["version"] == "2.1.0"
+    assert doc["$schema"].endswith("sarif-schema-2.1.0.json")
+    (run,) = doc["runs"]
+    driver = run["tool"]["driver"]
+    assert driver["name"] == "ert-repro-check"
+    rule_ids = [rule["id"] for rule in driver["rules"]]
+    assert list(RULE_IDS) == rule_ids
+    for descriptor in driver["rules"]:
+        assert descriptor["shortDescription"]["text"]
+        assert descriptor["fullDescription"]["text"]
+        assert descriptor["properties"]["pragma"] == (
+            f"# repro: allow({descriptor['id']})")
+    assert len(run["results"]) == 2
+    for result in run["results"]:
+        assert result["ruleId"] == "ERT006"
+        assert result["message"]["text"]
+        assert rule_ids[result["ruleIndex"]] == "ERT006"
+        (location,) = result["locations"]
+        physical = location["physicalLocation"]
+        assert physical["artifactLocation"]["uri"].endswith(
+            "ert006_fail.py")
+        assert "\\" not in physical["artifactLocation"]["uri"]
+        assert physical["region"]["startLine"] >= 1
+        assert physical["region"]["startColumn"] >= 1
+    assert run["properties"]["filesChecked"] == 1
+
+
+def test_sarif_includes_parse_rule_descriptor_on_demand(tmp_path):
+    from repro.checks import render_sarif
+    broken = tmp_path / "broken.py"
+    broken.write_text("def f(:\n")
+    report = run_checks([str(broken)], excludes=())
+    doc = json.loads(render_sarif(report))
+    (run,) = doc["runs"]
+    rule_ids = [rule["id"] for rule in run["tool"]["driver"]["rules"]]
+    assert "PARSE" in rule_ids
+    (result,) = run["results"]
+    assert result["ruleId"] == "PARSE"
+
+
+def test_cli_sarif_format(capsys):
+    assert checks_main(["--format", "sarif",
+                        fixture("ert006_fail.py")]) == 1
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["version"] == "2.1.0"
+    assert len(doc["runs"][0]["results"]) == 2
+
+
+# ----------------------------------------------------------------------
+# Baselines
+# ----------------------------------------------------------------------
+
+VIOLATING_SNIPPET = (
+    "def f(x=[]):\n"
+    "    return x\n"
+    "\n"
+    "\n"
+    "def g(y={}):\n"
+    "    return y\n"
+)
+
+
+def test_baseline_waives_recorded_violations(tmp_path):
+    from repro.checks.baseline import (apply_baseline, load_baseline,
+                                       write_baseline)
+    target = tmp_path / "debt.py"
+    target.write_text(VIOLATING_SNIPPET)
+    baseline_path = tmp_path / "checks-baseline.json"
+    report = run_checks([str(target)], excludes=())
+    assert len(report.violations) == 2
+    assert write_baseline(str(baseline_path), report) == 2
+    # Same tree: everything is waived, and the waiver count is visible.
+    fresh = run_checks([str(target)], excludes=())
+    apply_baseline(fresh, load_baseline(str(baseline_path)))
+    assert fresh.ok
+    assert fresh.baselined == 2
+    assert report_as_dict(fresh)["baselined"] == 2
+    # New debt on top: only the new violation survives the baseline.
+    target.write_text(VIOLATING_SNIPPET + "\n\ndef h(z=[]):\n    return z\n")
+    grown = run_checks([str(target)], excludes=())
+    apply_baseline(grown, load_baseline(str(baseline_path)))
+    assert [v.line for v in grown.violations] == [9]
+    assert grown.baselined == 2
+
+
+def test_baseline_survives_line_moves(tmp_path):
+    from repro.checks.baseline import apply_baseline, load_baseline, \
+        write_baseline
+    target = tmp_path / "debt.py"
+    target.write_text(VIOLATING_SNIPPET)
+    baseline_path = tmp_path / "b.json"
+    write_baseline(str(baseline_path), run_checks([str(target)],
+                                                  excludes=()))
+    # Push everything down two lines; fingerprints must still match.
+    target.write_text("# a comment\nX = 1\n" + VIOLATING_SNIPPET)
+    moved = run_checks([str(target)], excludes=())
+    apply_baseline(moved, load_baseline(str(baseline_path)))
+    assert moved.ok
+    assert moved.baselined == 2
+
+
+def test_cli_baseline_roundtrip(tmp_path, capsys):
+    target = tmp_path / "debt.py"
+    target.write_text(VIOLATING_SNIPPET)
+    baseline_path = tmp_path / "checks-baseline.json"
+    # Record the debt ...
+    assert checks_main(["--baseline", str(baseline_path),
+                        "--update-baseline", str(target)]) == 0
+    assert "2 entries" in capsys.readouterr().out
+    # ... and the very next gated run is green, with the debt visible.
+    assert checks_main(["--baseline", str(baseline_path),
+                        str(target)]) == 0
+    assert "(2 baselined)" in capsys.readouterr().out
+
+
+def test_cli_rejects_malformed_baseline(tmp_path, capsys):
+    bad = tmp_path / "bad.json"
+    bad.write_text("{\"version\": 999}")
+    assert checks_main(["--baseline", str(bad),
+                        fixture("ert006_pass.py")]) == 2
+    assert "cannot load baseline" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# CLI: --list-rules filtering/json and --jobs
+# ----------------------------------------------------------------------
+
+
+def test_cli_list_rules_respects_rules_filter(capsys):
+    assert checks_main(["--list-rules", "--rules", "ERT005,ERT013"]) == 0
+    out = capsys.readouterr().out
+    assert "ERT005" in out and "ERT013" in out
+    assert "ERT001" not in out
+    assert "# repro: allow(ERT005)" in out
+
+
+def test_cli_list_rules_json(capsys):
+    assert checks_main(["--list-rules", "--format", "json",
+                        "--rules", "ERT013,ERT015"]) == 0
+    catalogue = json.loads(capsys.readouterr().out)
+    assert [entry["id"] for entry in catalogue] == ["ERT013", "ERT015"]
+    by_id = {entry["id"]: entry for entry in catalogue}
+    assert by_id["ERT013"]["kind"] == "project"
+    assert by_id["ERT013"]["scope"] == ["repro"]
+    assert by_id["ERT015"]["scope"] == ["repro.parallel"]
+    assert by_id["ERT013"]["pragma"] == "# repro: allow(ERT013)"
+    assert by_id["ERT013"]["title"]
+
+
+def test_cli_jobs_matches_serial_output(capsys):
+    # Explicitly named files bypass the default fixture exclude.
+    targets = [fixture("ert001_fail.py"), fixture("ert006_fail.py"),
+               fixture("ert012_fail.py"), fixture("ert016_fail.py")]
+    assert checks_main(targets) == 1
+    serial_out = capsys.readouterr().out
+    assert checks_main(targets + ["--jobs", "2"]) == 1
+    parallel_out = capsys.readouterr().out
+    assert serial_out == parallel_out
+
+
+def test_cli_rejects_negative_jobs():
+    with pytest.raises(SystemExit) as excinfo:
+        checks_main(["--jobs", "-1", fixture("ert006_pass.py")])
+    assert excinfo.value.code == 2
 
 
 # ----------------------------------------------------------------------
