@@ -53,6 +53,30 @@ def _time_best(fn, rounds=ROUNDS):
     return best, result
 
 
+def _time_best_paired(fn_a, fn_b, rounds=ROUNDS):
+    """Best-of-N for two contenders, rounds interleaved A/B/A/B.
+
+    Timing all of A's rounds before all of B's bakes host load drift
+    into the A/B ratio (the second contender runs on a systematically
+    different machine state); alternating rounds exposes both to the
+    same drift, which is what makes a recorded ratio of the two
+    meaningful on a shared box.  One untimed warm-up of each filters
+    first-touch effects.
+    """
+    fn_a()
+    fn_b()
+    best_a = best_b = float("inf")
+    result_a = result_b = None
+    for _ in range(rounds):
+        start = time.perf_counter()
+        result_a = fn_a()
+        best_a = min(best_a, time.perf_counter() - start)
+        start = time.perf_counter()
+        result_b = fn_b()
+        best_b = min(best_b, time.perf_counter() - start)
+    return (best_a, result_a), (best_b, result_b)
+
+
 def test_parallel_throughput_trajectory(ert_index, reads, params):
     n_reads = len(reads)
 
@@ -66,16 +90,24 @@ def test_parallel_throughput_trajectory(ert_index, reads, params):
                              f"\t{seed.hit_count}\t{hits}\n")
         return lines
 
-    legacy_s, _ = _time_best(legacy_loop)
-
-    def run(workers, batch_size=64):
-        config = ParallelConfig(workers=workers, batch_size=batch_size)
+    def run(workers, batch_size=64, kernels=None):
+        config = ParallelConfig(workers=workers, batch_size=batch_size,
+                                kernels=kernels)
         lines, _stats = seed_reads(ert_index, reads, params, config)
         return lines
 
-    by_workers = {}
-    baseline_lines = None
+    # The headline ratio (serial fast path vs the legacy loop) gets the
+    # paired interleaved measurement; everything else is a standalone
+    # best-of-N.
+    (legacy_s, _), (serial_s, serial_lines) = _time_best_paired(
+        legacy_loop, lambda: run(1), rounds=5)
+
+    by_workers = {1: {"seconds": serial_s,
+                      "reads_per_sec": n_reads / serial_s}}
+    baseline_lines = serial_lines
     for workers in WORKER_COUNTS:
+        if workers == 1:
+            continue
         if workers > 1 and CPU_COUNT <= 1:
             # Timesharing a pool on one core measures contention, not
             # throughput; still run once to assert output identity.
@@ -105,6 +137,22 @@ def test_parallel_throughput_trajectory(ert_index, reads, params):
             "reads_per_sec": n_reads / elapsed,
         }
 
+    # Vector-kernel legs: the batched ERT walk behind --kernels vector,
+    # serial and at the pool maximum, byte-identical to the scalar
+    # oracle by contract (asserted here like every other config).
+    by_vector = {}
+    vector_workers = [1] + [w for w in WORKER_COUNTS
+                            if w > 1 and CPU_COUNT > 1][-1:]
+    for workers in vector_workers:
+        elapsed, lines = _time_best(
+            lambda w=workers: run(w, batch_size=256, kernels="vector"))
+        assert lines == baseline_lines, \
+            f"kernels=vector workers={workers} changed the output"
+        by_vector[workers] = {
+            "seconds": elapsed,
+            "reads_per_sec": n_reads / elapsed,
+        }
+
     serial_rps = by_workers[1]["reads_per_sec"]
     measured = {w: row for w, row in by_workers.items()
                 if "reads_per_sec" in row}
@@ -127,11 +175,15 @@ def test_parallel_throughput_trajectory(ert_index, reads, params):
         "workers": {str(w): row for w, row in by_workers.items()},
         "batch_size_sweep_workers1": {
             str(b): row for b, row in by_batch.items()},
+        "vector_kernels_batch256": {
+            str(w): row for w, row in by_vector.items()},
         "speedup_vs_serial": {
             str(w): row["reads_per_sec"] / serial_rps
             for w, row in measured.items()},
         "serial_fast_path_vs_legacy":
             serial_rps / (n_reads / legacy_s),
+        "vector_serial_vs_scalar_serial":
+            by_vector[1]["reads_per_sec"] / serial_rps,
     }
     BENCH_JSON.write_text(json.dumps(payload, indent=2, sort_keys=True)
                           + "\n")
@@ -148,6 +200,10 @@ def test_parallel_throughput_trajectory(ert_index, reads, params):
         rows.append(f"{f'{workers} worker(s)':<24}"
                     f"{row['reads_per_sec']:>12.1f}"
                     f"{row['reads_per_sec'] / serial_rps:>12.2f}")
+    for workers, row in by_vector.items():
+        rows.append(f"{f'vector, {workers} worker(s)':<24}"
+                    f"{row['reads_per_sec']:>12.1f}"
+                    f"{row['reads_per_sec'] / serial_rps:>12.2f}")
     record_result(
         "parallel_throughput",
         f"parallel seeding throughput (cpu_count={CPU_COUNT})\n"
@@ -158,3 +214,6 @@ def test_parallel_throughput_trajectory(ert_index, reads, params):
     # against the legacy loop (10% tolerance for timer noise).
     assert all(row["reads_per_sec"] > 0 for row in measured.values())
     assert serial_rps >= 0.9 * (n_reads / legacy_s)
+    # The batched vector walk must clearly beat the scalar serial path
+    # (bench_kernels.py gates the full 3x acceptance floor).
+    assert by_vector[1]["reads_per_sec"] >= 1.5 * serial_rps

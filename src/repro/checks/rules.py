@@ -237,8 +237,8 @@ class IntegerAccountingRule(Rule):
 _PACKAGES = (
     "repro.sequence", "repro.telemetry", "repro.logging", "repro.memsim",
     "repro.seeding", "repro.core", "repro.fmindex", "repro.extend",
-    "repro.parallel", "repro.accel", "repro.analysis", "repro.baselines",
-    "repro.checks", "repro.ledger", "repro.cli",
+    "repro.kernels", "repro.parallel", "repro.accel", "repro.analysis",
+    "repro.baselines", "repro.checks", "repro.ledger", "repro.cli",
 )
 
 
@@ -250,12 +250,16 @@ def _everything_but(*allowed: str) -> "tuple[str, ...]":
 #: importing module).  The shape of the DAG: sequence and telemetry are
 #: leaves; memsim sits above telemetry; seeding/core/fmindex/extend form
 #: the algorithmic middle and may flush metrics (repro.telemetry) but
-#: never touch the exporters; parallel orchestrates the middle layers
-#: (it is the sole owner of worker pools / shared memory, rule ERT008);
-#: accel consumes traces from core/seeding; analysis/baselines/ledger/
-#: cli sit on top (ledger reads telemetry snapshots but nothing below
-#: it may import it); checks stands alone so it can lint a tree too
-#: broken to import.
+#: never touch the exporters; kernels (the batched vector paths) sits
+#: just above that middle -- it reads seeding/core/extend internals but
+#: nothing in the middle may import it back (the scalar oracle must not
+#: depend on its vectorization; callers inject kernel functions
+#: downward, see ReadAligner.sw_batch); parallel orchestrates the middle
+#: layers and kernels (it is the sole owner of worker pools / shared
+#: memory, rule ERT008); accel consumes traces from core/seeding;
+#: analysis/baselines/ledger/cli sit on top (ledger reads telemetry
+#: snapshots but nothing below it may import it); checks stands alone so
+#: it can lint a tree too broken to import.
 _LAYERING: "dict[str, tuple[str, ...]]" = {
     "repro.sequence": _everything_but("repro.sequence"),
     "repro.telemetry": _everything_but("repro.telemetry"),
@@ -268,23 +272,29 @@ _LAYERING: "dict[str, tuple[str, ...]]" = {
         + ("repro.telemetry.export",),
     "repro.core": ("repro.accel", "repro.analysis", "repro.baselines",
                    "repro.checks", "repro.cli", "repro.extend",
-                   "repro.ledger", "repro.parallel",
+                   "repro.kernels", "repro.ledger", "repro.parallel",
                    "repro.telemetry.export"),
     "repro.fmindex": ("repro.accel", "repro.analysis", "repro.baselines",
                       "repro.checks", "repro.cli", "repro.core",
-                      "repro.extend", "repro.ledger", "repro.parallel",
-                      "repro.telemetry.export"),
+                      "repro.extend", "repro.kernels", "repro.ledger",
+                      "repro.parallel", "repro.telemetry.export"),
     "repro.extend": ("repro.accel", "repro.analysis", "repro.baselines",
-                     "repro.checks", "repro.cli", "repro.ledger",
-                     "repro.parallel", "repro.telemetry.export"),
+                     "repro.checks", "repro.cli", "repro.kernels",
+                     "repro.ledger", "repro.parallel",
+                     "repro.telemetry.export"),
+    "repro.kernels": ("repro.accel", "repro.analysis", "repro.baselines",
+                      "repro.checks", "repro.cli", "repro.fmindex",
+                      "repro.ledger", "repro.memsim", "repro.parallel",
+                      "repro.telemetry.export"),
     "repro.parallel": ("repro.accel", "repro.analysis", "repro.baselines",
                        "repro.checks", "repro.cli", "repro.ledger",
                        "repro.telemetry.export"),
     "repro.accel": ("repro.analysis", "repro.baselines", "repro.checks",
-                    "repro.cli", "repro.extend", "repro.ledger",
-                    "repro.parallel"),
+                    "repro.cli", "repro.extend", "repro.kernels",
+                    "repro.ledger", "repro.parallel"),
     "repro.baselines": ("repro.accel", "repro.analysis", "repro.checks",
-                        "repro.cli", "repro.ledger", "repro.parallel"),
+                        "repro.cli", "repro.kernels", "repro.ledger",
+                        "repro.parallel"),
     "repro.analysis": ("repro.checks", "repro.cli", "repro.ledger"),
     "repro.checks": _everything_but("repro.checks"),
     "repro.ledger": _everything_but("repro.ledger", "repro.telemetry"),

@@ -38,7 +38,9 @@ default worker count comes from ``$REPRO_WORKERS`` (else 1).  With
 workers > 1 they also take ``--retries R`` (per-batch retry budget
 after a worker crash or batch timeout; default ``$REPRO_RETRIES``,
 else 2) and ``--batch-timeout SEC``; see the failure model in
-``docs/performance.md``.
+``docs/performance.md``.  ``--kernels vector`` (default
+``$REPRO_KERNELS``, else scalar) routes seeding through the batched
+numpy kernels (:mod:`repro.kernels`) with byte-identical output.
 
 Every subcommand is a thin shell over the library API, so everything it
 does is equally available programmatically.
@@ -66,6 +68,7 @@ from repro.core import (
     save_ert,
 )
 from repro.extend import write_sam
+from repro.kernels import KERNEL_CHOICES
 from repro.parallel import (
     ParallelConfig,
     align_pairs,
@@ -311,12 +314,19 @@ def _add_parallel_args(parser) -> None:
         default=None, metavar="SEC",
         help="seconds to wait for one batch before killing and "
              "respawning the pool (default: wait forever)")
+    parser.add_argument(
+        "--kernels", choices=KERNEL_CHOICES, default=None,
+        help="seeding/extension kernels: scalar (the per-read oracle) "
+             "or vector (batched numpy walks + wavefront SW; "
+             "byte-identical output).  Default: $REPRO_KERNELS, else "
+             "scalar")
 
 
 def _parallel_config(args) -> ParallelConfig:
     return ParallelConfig(workers=args.workers, batch_size=args.batch_size,
                           retries=args.retries,
-                          batch_timeout=args.batch_timeout)
+                          batch_timeout=args.batch_timeout,
+                          kernels=getattr(args, "kernels", None))
 
 
 def _telemetry_begin(args) -> bool:

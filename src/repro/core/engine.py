@@ -50,6 +50,13 @@ class ErtSeedingEngine(SeedingEngine):
         # reverse complement.
         self._batch_rev: "dict[int, np.ndarray]" = {}
         self._batch_pinned: "dict[int, np.ndarray]" = {}
+        # Rolling k-mer entry codes per batch sequence (forward reads
+        # and their cached reverse complements), also from begin_batch().
+        self._batch_codes: "dict[int, np.ndarray]" = {}
+        # Big-endian 2-bit pack weights for the second-level table
+        # subcode: one dot product instead of a per-character loop.
+        x = index.config.table_x
+        self._subcode_weights = (4 ** np.arange(x - 1, -1, -1)).astype(np.int64)
 
     # ------------------------------------------------------------------
     # Per-read state
@@ -69,14 +76,42 @@ class ErtSeedingEngine(SeedingEngine):
         # _batch_pinned for the batch cache's lifetime.
         self._batch_pinned = {id(r): r for r in reads}  # repro: allow(ERT001)
         self._batch_rev = {}
+        self._batch_codes = {}
         if not reads:
             return
-        comp = COMPLEMENT[np.concatenate(reads)]
+        # Reverse the whole complemented buffer once so every per-read
+        # slice below is contiguous and ascending -- negative-stride
+        # views made every downstream indexing op pay a gather, which is
+        # what made this "fast path" lose to the per-read loop.
+        buf = np.concatenate(reads)
+        rev = COMPLEMENT[buf][::-1].copy()
+        total = int(rev.size)
+        # Rolling k-mer codes over both strands in two matmuls: every
+        # _kmer_entry() lookup on a batch sequence then reads its packed
+        # entry code from this cache instead of re-packing k characters
+        # in Python.  Windows straddling read boundaries are garbage and
+        # excluded by the per-read slicing below.
+        k = self.index.config.k
+        fwd_codes = rev_codes = None
+        if total >= k:
+            weights = 4 ** np.arange(k - 1, -1, -1, dtype=np.int64)
+            windows = np.lib.stride_tricks.sliding_window_view
+            fwd_codes = windows(buf, k) @ weights
+            rev_codes = windows(rev, k) @ weights
         base = 0
         for read in reads:
             n = int(read.size)
-            rc = comp[base:base + n][::-1]
+            lo = total - base - n
+            rc = rev[lo:lo + n]
             self._batch_rev[id(read)] = rc  # repro: allow(ERT001)
+            if n >= k and fwd_codes is not None:
+                span = n - k + 1
+                # ERT001 exception: read is pinned by _batch_pinned and
+                # rc by _batch_rev for this cache's lifetime.
+                self._batch_codes[id(read)] = (  # repro: allow(ERT001)
+                    fwd_codes[base:base + span])
+                self._batch_codes[id(rc)] = (  # repro: allow(ERT001)
+                    rev_codes[lo:lo + span])
             base += n
 
     def _key(self, read: np.ndarray) -> int:
@@ -115,7 +150,15 @@ class ErtSeedingEngine(SeedingEngine):
         k = self.index.config.k
         n = int(seq.size)
         tail = min(k, n - start)
-        code = self.index.kmer_code(seq[start:start + tail])
+        # Full-k windows of a batch sequence hit the rolling-code cache
+        # (begin_batch); _batch_codes keys stay pinned for its lifetime,
+        # so a miss cannot alias a recycled id.
+        cached = (self._batch_codes.get(id(seq))  # repro: allow(ERT001)
+                  if tail == k else None)
+        if cached is not None:
+            code = int(cached[start])
+        else:
+            code = self.index.kmer_code(seq[start:start + tail])
         self.index.trace_index_entry(code)
         self.stats.index_lookups += 1
         if min_hits == 1:
@@ -163,13 +206,7 @@ class ErtSeedingEngine(SeedingEngine):
         if (use_table and min_hits == 1
                 and index.entry_kind[code] == EntryKind.TABLE
                 and n - pos >= x):
-            subcode = 0
-            # Vectorization debt (ROADMAP item 1): x is <= 4 in every
-            # published config, so packing the subcode stays cheaper in
-            # Python than a np.dot over shift weights; revisit when the
-            # walk itself moves into a batched kernel.
-            for c in seq[pos:pos + x]:  # repro: allow(ERT013)
-                subcode = (subcode << 2) | int(c)
+            subcode = int(seq[pos:pos + x] @ self._subcode_weights)
             index.trace_table_entry(code, subcode)
             entry = index.tables[code][subcode]
             if collect_leps:

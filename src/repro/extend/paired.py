@@ -25,7 +25,7 @@ from repro.extend.sam import (
     unmapped_record,
 )
 from repro.extend.traceback import banded_sw_traceback
-from repro.seeding.algorithm import seed_read
+from repro.seeding.algorithm import SeedingResult, seed_read
 from repro.sequence.alphabet import decode, revcomp_codes
 from repro.sequence.reference import Strand
 
@@ -61,9 +61,12 @@ class PairedAligner:
 
     # -- candidate generation -------------------------------------------
 
-    def _candidates(self, read: np.ndarray) -> "list[Placement]":
+    def _candidates(self, read: np.ndarray,
+                    seeding: "SeedingResult | None" = None
+                    ) -> "list[Placement]":
         aligner = self.aligner
-        result = seed_read(aligner.engine, read, aligner.params)
+        result = seeding if seeding is not None \
+            else seed_read(aligner.engine, read, aligner.params)
         chains = chain_seeds(result.all_seeds)
         out = []
         for chain in chains[:self.max_candidates]:
@@ -121,9 +124,12 @@ class PairedAligner:
 
     def align_pair(self, first: np.ndarray, second: np.ndarray,
                    name: str = "pair", quality1: str = "",
-                   quality2: str = "") -> "tuple[SamRecord, SamRecord]":
-        cand1 = self._candidates(first)
-        cand2 = self._candidates(second)
+                   quality2: str = "",
+                   seeding1: "SeedingResult | None" = None,
+                   seeding2: "SeedingResult | None" = None
+                   ) -> "tuple[SamRecord, SamRecord]":
+        cand1 = self._candidates(first, seeding=seeding1)
+        cand2 = self._candidates(second, seeding=seeding2)
         if cand1 and not cand2:
             rescued = self._rescue(second, cand1[0])
             if rescued:

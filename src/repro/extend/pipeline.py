@@ -10,6 +10,7 @@ workload that the SeedEx model (Table VI) consumes.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 import numpy as np
 
@@ -30,7 +31,7 @@ from repro.extend.smith_waterman import (
     banded_smith_waterman,
 )
 from repro.extend.traceback import banded_sw_traceback
-from repro.seeding.algorithm import SeedingParams, seed_read
+from repro.seeding.algorithm import SeedingParams, SeedingResult, seed_read
 from repro.seeding.engine import SeedingEngine
 from repro.sequence.alphabet import decode
 from repro.sequence.reference import Reference, Strand
@@ -68,7 +69,8 @@ class ReadAligner:
                  params: "SeedingParams | None" = None,
                  scheme: "ScoringScheme | None" = None,
                  band: int = 41, max_chains_extended: int = 8,
-                 edit_check_first: bool = True) -> None:
+                 edit_check_first: bool = True,
+                 sw_batch: "Callable | None" = None) -> None:
         self.reference = reference
         self.engine = engine
         self.params = params or SeedingParams()
@@ -76,6 +78,15 @@ class ReadAligner:
         self.band = band
         self.max_chains_extended = max_chains_extended
         self.edit_check_first = edit_check_first
+        #: Optional batched extension kernel with the calling convention
+        #: of :func:`repro.kernels.sw.batched_banded_sw`.  When set,
+        #: :meth:`align` extends all of a read's SW-bound chains in one
+        #: wavefront call instead of one row-wise SW per chain -- same
+        #: scores, same coordinates.  Injected by callers (the parallel
+        #: scheduler, the CLI) because the extend layer sits below
+        #: ``repro.kernels`` in the import DAG.  The SAM paths keep the
+        #: per-chain traceback kernel either way.
+        self.sw_batch = sw_batch
         self._text = reference.both_strands
         # One workspace per aligner: the SW kernel's row buffers are
         # reused across every extension instead of allocated per call.
@@ -85,24 +96,35 @@ class ReadAligner:
         #: these into the read's exemplar record.
         self.read_stats: "dict[str, int]" = {}
 
-    def align(self, read: np.ndarray,
-              name: str = "read") -> AlignmentOutcome:
-        """Align one read; returns the best-scoring chain extension."""
+    def align(self, read: np.ndarray, name: str = "read",
+              seeding: "SeedingResult | None" = None) -> AlignmentOutcome:
+        """Align one read; returns the best-scoring chain extension.
+
+        ``seeding`` short-circuits the three seeding rounds with a
+        precomputed result (how the batched kernel path feeds a whole
+        batch of reads seeded at once); output is identical either way.
+        """
         with telemetry.span("align"):
-            result = seed_read(self.engine, read, self.params)
+            result = seeding if seeding is not None \
+                else seed_read(self.engine, read, self.params)
             seeds = result.all_seeds
             with telemetry.span("chain"):
                 chains = chain_seeds(seeds)
             workload = ExtensionWorkload()
             best: "Alignment | None" = None
             with telemetry.span("extend"):
-                for chain in chains[:self.max_chains_extended]:
-                    candidate = self._extend_chain(read, chain, name,
-                                                   workload)
-                    if candidate is None:
-                        continue
-                    if best is None or candidate.score > best.score:
-                        best = candidate
+                if self.sw_batch is not None:
+                    best = self._extend_chains_batched(
+                        read, chains[:self.max_chains_extended], name,
+                        workload)
+                else:
+                    for chain in chains[:self.max_chains_extended]:
+                        candidate = self._extend_chain(read, chain, name,
+                                                       workload)
+                        if candidate is None:
+                            continue
+                        if best is None or candidate.score > best.score:
+                            best = candidate
             self._record_read_metrics(len(seeds), len(chains),
                                       mapped=best is not None)
         return AlignmentOutcome(alignment=best, n_seeds=len(seeds),
@@ -173,19 +195,89 @@ class ReadAligner:
                          position=hit.start, score=int(score),
                          chain_score=chain.score)
 
+    def _extend_chains_batched(self, read: np.ndarray,
+                               chains: "list[Chain]", name: str,
+                               workload: ExtensionWorkload) \
+            -> "Alignment | None":
+        """All chains of one read through the injected wavefront kernel.
+
+        Two passes keep this score-identical to the serial loop: the
+        first runs each chain's window setup and edit-distance shortcut
+        in chain order (so workload/telemetry accounting interleaves the
+        same way), queueing the windows that need full SW; one batched
+        call resolves those; the second pass finalizes candidates in
+        chain order, preserving the strict-improvement tie-break.
+        """
+        n = int(read.size)
+        entries: "list[list]" = []  # [chain, ref_begin, score, end_pos]
+        pending: "list[int]" = []
+        windows: "list[np.ndarray]" = []
+        for chain in chains:
+            ref_begin = max(0, chain.ref_start - chain.read_start
+                            - self.band // 2)
+            window = self._text[ref_begin:ref_begin + n + self.band]
+            if window.size < n // 2:
+                continue
+            if telemetry.enabled():
+                telemetry.observe("align.band_bp", self.band)
+                telemetry.observe("align.window_bp", int(window.size))
+            score = None
+            end_pos = None
+            if self.edit_check_first:
+                workload.add_edit(n)
+                telemetry.count("align.edit_checks")
+                dist = banded_edit_distance(read, window[:n],
+                                            band=self.band)
+                if dist is not None and dist <= 2:
+                    score = (n - dist) * self.scheme.match + dist * \
+                        self.scheme.mismatch
+                    end_pos = ref_begin
+            if score is None:
+                workload.add_sw(n)
+                telemetry.count("align.sw_extensions")
+                pending.append(len(entries))
+                windows.append(window)
+            entries.append([chain, ref_begin, score, end_pos])
+        if windows:
+            results = self.sw_batch(read, windows, self.scheme, self.band,
+                                    workspace=self._sw_workspace)
+            for slot, sw in zip(pending, results):
+                if sw.is_aligned:
+                    entries[slot][2] = sw.score
+                    entries[slot][3] = (entries[slot][1] + sw.target_end
+                                        - sw.query_end)
+        best: "Alignment | None" = None
+        for chain, _ref_begin, score, end_pos in entries:
+            if score is None:
+                continue
+            hit = self.reference.to_forward(max(0, end_pos), min(
+                n, 2 * len(self.reference) - max(0, end_pos)))
+            if hit is None:
+                continue
+            candidate = Alignment(read_name=name, strand=hit.strand,
+                                  position=hit.start, score=int(score),
+                                  chain_score=chain.score)
+            if best is None or candidate.score > best.score:
+                best = candidate
+        return best
+
     # ------------------------------------------------------------------
     # SAM emission (traceback path)
     # ------------------------------------------------------------------
 
     def align_sam(self, read: np.ndarray, name: str = "read",
-                  quality: str = "") -> SamRecord:
+                  quality: str = "",
+                  seeding: "SeedingResult | None" = None) -> SamRecord:
         """Align one read and emit a SAM record with a real CIGAR.
 
         The best and runner-up chains are both extended with the
         traceback kernel so mapping quality can reflect uniqueness.
+        ``seeding`` injects a precomputed seeding result (the batched
+        kernel path); the record is identical either way.
         """
         with telemetry.span("align"):
-            result = seed_read(self.engine, read, self.params)
+            result = seeding if seeding is not None \
+                else seed_read(self.engine, read, self.params)
             with telemetry.span("chain"):
                 chains = chain_seeds(result.all_seeds)
             self._begin_read_stats(result.all_seeds, chains)
@@ -208,14 +300,16 @@ class ReadAligner:
                              strand, position, cigar, best_score, mapq)
 
     def align_sam_multi(self, read: np.ndarray, name: str = "read",
-                        quality: str = "",
-                        max_secondary: int = 3) -> "list[SamRecord]":
+                        quality: str = "", max_secondary: int = 3,
+                        seeding: "SeedingResult | None" = None
+                        ) -> "list[SamRecord]":
         """Like :meth:`align_sam` but also emits secondary records
         (FLAG 0x100) for distinct runner-up placements, as read aligners
         do for multi-mapping reads in repeats."""
         from dataclasses import replace as _replace
         with telemetry.span("align"):
-            result = seed_read(self.engine, read, self.params)
+            result = seeding if seeding is not None \
+                else seed_read(self.engine, read, self.params)
             with telemetry.span("chain"):
                 chains = chain_seeds(result.all_seeds)
             self._begin_read_stats(result.all_seeds, chains)

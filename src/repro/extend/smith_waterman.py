@@ -49,11 +49,12 @@ class SwWorkspace:
     unless a longer target arrives.
     """
 
-    __slots__ = ("_rows", "_cap")
+    __slots__ = ("_rows", "_cap", "_grid")
 
     def __init__(self) -> None:
         self._rows: "tuple[np.ndarray, ...] | None" = None
         self._cap = 0
+        self._grid: "np.ndarray | None" = None
 
     def rows(self, n: int) -> "tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]":
         """Four int64 rows of length ``n + 1`` (contents unspecified --
@@ -64,6 +65,15 @@ class SwWorkspace:
                                for _ in range(4))
         a, b, c, d = self._rows
         return a[:n + 1], b[:n + 1], c[:n + 1], d[:n + 1]
+
+    def grid(self, planes: int, rows: int, cols: int) -> np.ndarray:
+        """An int64 ``(planes, rows, cols)`` block for the wavefront
+        kernel's rotating diagonal buffers (contents unspecified);
+        grown on demand and reused across calls like :meth:`rows`."""
+        need = planes * rows * cols
+        if self._grid is None or self._grid.size < need:
+            self._grid = np.empty(max(need, 4096), dtype=np.int64)
+        return self._grid[:need].reshape(planes, rows, cols)
 
 
 @dataclass(frozen=True)
@@ -114,6 +124,12 @@ def banded_smith_waterman(query: np.ndarray, target: np.ndarray,
     best = 0
     best_q = best_t = 0
     cells = 0
+    # F-scan closed form support (see below), hoisted out of the row
+    # loop: the gap slope and a scratch row sized to the widest band row.
+    s = max(scheme.gap_open, scheme.gap_extend)
+    width_cap = min(n, 2 * half + 1)
+    steps_full = s * np.arange(width_cap, dtype=np.int64)
+    scratch = np.empty(width_cap, dtype=np.int64)
     for i in range(1, m + 1):
         lo = max(1, i - half)
         hi = min(n, i + half)
@@ -127,22 +143,27 @@ def banded_smith_waterman(query: np.ndarray, target: np.ndarray,
         diag = h_prev[lo - 1:hi] + match_scores
         e_cur[window] = np.maximum(h_prev[window] + scheme.gap_open,
                                    e_prev[window] + scheme.gap_extend)
-        # F (gaps in the target) has a row-local dependency; scan it.
-        f = NEG_INF
-        row_best = NEG_INF
-        row_best_j = lo
-        # Vectorization debt (ROADMAP item 1): the F recurrence is a
-        # serial max-scan (f depends on the previous cell), so this scan
-        # needs a prefix-max kernel, not a plain whole-array rewrite.
-        for off, j in enumerate(range(lo, hi + 1)):
-            f = max(h_cur[j - 1] + scheme.gap_open, f + scheme.gap_extend)
-            h = max(0, diag[off], int(e_cur[j]), f)  # repro: allow(ERT013)
-            h_cur[j] = h
-            if h > row_best:
-                row_best, row_best_j = h, j
+        # F (gaps in the target) has a row-local dependency
+        # F[j] = max(H[j-1] + open, F[j-1] + extend); with
+        # s = max(open, extend) and H0 = H without the F term it unrolls
+        # to the closed form F[j] = open + s*w + cummax(H0[j0] - s*w0)
+        # over window offsets w (a prefix-max, one vector op).  Exact:
+        # within a row H[j-1] = max(H0[j-1], F[j-1]) and folding the
+        # F[j-1] branch through max(open, extend) never wins strictly.
+        h0 = np.maximum(np.maximum(diag, e_cur[window]), 0)
+        steps = steps_full[:hi - lo + 1]
+        h0_left = scratch[:hi - lo + 1]
+        h0_left[0] = 0
+        h0_left[1:] = h0[:-1]
+        f_row = (scheme.gap_open + steps
+                 + np.maximum.accumulate(h0_left - steps))
+        h_row = np.maximum(h0, f_row)
+        h_cur[window] = h_row
+        row_best = int(h_row.max())
         cells += hi - lo + 1
         if row_best > best:
-            best, best_q, best_t = int(row_best), i, row_best_j
+            best = row_best
+            best_q, best_t = i, lo + int(h_row.argmax())
         h_prev, h_cur = h_cur, h_prev
         e_prev, e_cur = e_cur, e_prev
     return AlignmentResult(int(best), best_q, best_t, cells)

@@ -89,47 +89,59 @@ def banded_sw_traceback(query: np.ndarray, target: np.ndarray,
         hi = min(n, i + half)
         if lo > hi:
             break
-        h_cur = np.zeros(n + 1, dtype=np.int64)
-        e_cur = np.full(n + 1, NEG_INF, dtype=np.int64)
+        # Within the band, rel(i, j) sweeps lo - (i - half) .. hi -
+        # (i - half), always inside [0, width).  E (vertical) and the
+        # diagonal term depend only on the previous row, so both are
+        # one vector op; F (horizontal) chains through the current row
+        # and stays in the scalar loop, on plain Python ints -- the
+        # recurrences and tie-breaks are identical to the per-cell
+        # form, only the arithmetic moved out of numpy scalar indexing.
+        r_lo = rel(i, lo)
+        span = hi - lo + 1
+        open_e = h_prev[lo:hi + 1] + scheme.gap_open
+        extend_e = e_prev[lo:hi + 1] + scheme.gap_extend
+        e_row = np.maximum(open_e, extend_e)
+        e_open[i, r_lo:r_lo + span] = open_e >= extend_e
+        diag_row = h_prev[lo - 1:hi] + np.where(
+            t[lo - 1:hi] == q[i - 1], scheme.match, scheme.mismatch)
+        e_vals = e_row.tolist()
+        diag_vals = diag_row.tolist()
+        h_row = [0] * span
+        ptr_row = [_STOP] * span
+        f_row = [False] * span
         f = NEG_INF
-        f_was_open = False
-        for j in range(lo, hi + 1):
-            r = rel(i, j)
-            if not 0 <= r < width:
-                continue
-            # E: gap in the query (consume target), vertical state.
-            open_e = h_prev[j] + scheme.gap_open
-            extend_e = e_prev[j] + scheme.gap_extend
-            if open_e >= extend_e:
-                e_cur[j] = open_e
-                e_open[i][r] = True
-            else:
-                e_cur[j] = extend_e
-                e_open[i][r] = False
+        # h_cur[lo - 1] sits outside the band on this row, hence 0.
+        h_left = 0
+        for c in range(span):
             # F: gap in the target (consume query), horizontal state.
-            open_f = h_cur[j - 1] + scheme.gap_open
+            open_f = h_left + scheme.gap_open
             extend_f = f + scheme.gap_extend
             if open_f >= extend_f:
                 f = open_f
-                f_was_open = True
+                f_row[c] = True
             else:
                 f = extend_f
-                f_was_open = False
-            f_open[i][r] = f_was_open
-            diag = h_prev[j - 1] + (scheme.match if t[j - 1] == q[i - 1]
-                                    else scheme.mismatch)
-            h = max(0, diag, int(e_cur[j]), f)
-            h_cur[j] = h
+            e = e_vals[c]
+            diag = diag_vals[c]
+            h = max(0, diag, e, f)
+            h_row[c] = h
+            h_left = h
             if h == 0:
-                h_ptr[i][r] = _STOP
+                pass
             elif h == diag:
-                h_ptr[i][r] = _DIAG
-            elif h == e_cur[j]:
-                h_ptr[i][r] = _FROM_E
+                ptr_row[c] = _DIAG
+            elif h == e:
+                ptr_row[c] = _FROM_E
             else:
-                h_ptr[i][r] = _FROM_F
+                ptr_row[c] = _FROM_F
             if h > best:
-                best, best_i, best_j = int(h), i, j
+                best, best_i, best_j = h, i, lo + c
+        f_open[i, r_lo:r_lo + span] = f_row
+        h_ptr[i, r_lo:r_lo + span] = ptr_row
+        h_cur = np.zeros(n + 1, dtype=np.int64)
+        e_cur = np.full(n + 1, NEG_INF, dtype=np.int64)
+        h_cur[lo:hi + 1] = h_row
+        e_cur[lo:hi + 1] = e_row
         h_prev, e_prev = h_cur, e_cur
 
     if best == 0:

@@ -1,0 +1,55 @@
+"""Batch-vectorized seeding and extension kernels (ROADMAP item 1).
+
+The scalar engine (:mod:`repro.core.engine`) resolves one read character
+per Python-level call; these kernels advance a whole batch of reads (or
+extension jobs) per numpy operation instead, in the spirit of EXMA's
+batched multi-read traversal:
+
+* :mod:`repro.kernels.flat` -- a structure-of-arrays (gather-friendly)
+  form of the radix trees, compiled once per index.
+* :mod:`repro.kernels.walk` -- the lane-masked batched tree walk: one
+  fancy-indexing step advances every live lane by one character.
+* :mod:`repro.kernels.seeding` -- the three seeding rounds driven as
+  batched walks; byte-identical seeds to the scalar oracle.
+* :mod:`repro.kernels.sw` -- anti-diagonal wavefront banded
+  Smith-Waterman over a batch of extension windows.
+
+The scalar path remains the oracle: the vector path is selected with
+``REPRO_KERNELS=vector`` (CLI ``--kernels vector``) and must produce
+byte-identical output; the randomized equivalence suite in
+``tests/test_kernels.py`` enforces this.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.kernels.flat import FlatTrees, flat_trees
+from repro.kernels.seeding import seed_batch, vector_ready
+from repro.kernels.sw import batched_banded_sw
+
+KERNEL_CHOICES = ("scalar", "vector")
+
+
+def resolve_kernels(value: "str | None" = None) -> str:
+    """Normalize a kernel selection: explicit value, else the
+    ``REPRO_KERNELS`` environment variable, else ``scalar``."""
+    chosen = value if value is not None else os.environ.get("REPRO_KERNELS")
+    if chosen is None or chosen == "":
+        return "scalar"
+    if chosen not in KERNEL_CHOICES:
+        raise ValueError(
+            f"unknown kernels selection {chosen!r}; expected one of "
+            f"{'/'.join(KERNEL_CHOICES)}")
+    return chosen
+
+
+__all__ = [
+    "FlatTrees",
+    "flat_trees",
+    "seed_batch",
+    "vector_ready",
+    "batched_banded_sw",
+    "KERNEL_CHOICES",
+    "resolve_kernels",
+]

@@ -1,0 +1,235 @@
+"""Structure-of-arrays form of the ERT radix trees.
+
+The object trees built by :mod:`repro.core.builder` (and reassembled from
+the ``ERTBUF01`` buffer by :mod:`repro.core.io`) are linked Python
+objects; a batched walk cannot fancy-index into them.  This module
+compiles them -- once per index, cached on the index instance -- into a
+flat arena of parallel numpy arrays, one row per node:
+
+* ``kind``: DIVERGE / UNIFORM / LEAF discriminant;
+* ``count``: occurrences below the node (LEP + min-hit checks);
+* ``children``: the four per-character child node ids of a DIVERGE node
+  (-1 for a missing branch == dead end);
+* ``chars_off``/``chars_len`` into ``chars_pool``: a UNIFORM node's
+  merged character run;
+* ``child``: a UNIFORM node's single child;
+* ``leaf_text0``: a LEAF's first occurrence position (matching proceeds
+  against the reference text, early path compression §III-A2);
+* ``pos_off``/``pos_len`` into ``pool``: every occurrence position in the
+  node's subtree, contiguous because the pool is filled in DFS (Euler)
+  order.  ``gather(nid)`` is therefore one slice + sort instead of the
+  scalar cursor's recursive DFS.
+
+Second-level jump tables (§III-E) are translated into dense ``(n_tables,
+4^x)`` arrays so the batched walk resolves the x-character jump for a
+whole lane set with one gather.
+
+States are *eagerly settled*: where the scalar cursor defers a child
+fetch (``pending`` / exhausted uniform run), the flat form lands on the
+child immediately.  Settling is a traffic-accounting device only -- it
+never changes match outcomes, counts, or subtree position sets (a uniform
+node's subtree equals its child's) -- and the vector path is only taken
+when no memory tracer is attached, so the flat walk is free to skip it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.index import ErtIndex
+from repro.core.nodes import DivergeNode, LeafNode, Node, UniformNode
+
+KIND_DIVERGE = 0
+KIND_UNIFORM = 1
+KIND_LEAF = 2
+
+
+class FlatTrees:
+    """The compiled arena (see module docstring).  Read-only after
+    construction; shared by every walk over the same index."""
+
+    __slots__ = (
+        "k", "table_x", "kind", "count", "children", "child",
+        "chars_off", "chars_len", "chars_pool", "leaf_text0",
+        "pos_off", "pos_len", "pool", "roots", "table_slot",
+        "jt_matched", "jt_lep", "jt_node", "jt_within", "jt_depth",
+        "jt_count",
+    )
+
+    def __init__(self, **arrays: "int | np.ndarray") -> None:
+        for name, value in arrays.items():
+            object.__setattr__(self, name, value)
+
+    def gather(self, nid: int) -> np.ndarray:
+        """Sorted occurrence positions of the subtree below ``nid``
+        (the scalar cursor's ``gather()``, as one slice)."""
+        off = int(self.pos_off[nid])
+        return np.sort(self.pool[off:off + int(self.pos_len[nid])])
+
+
+def _settle_nid(kind: "list[int]", chars_len: "list[int]",
+                child: "list[int]", nid: int, within: int) -> "tuple[int, int]":
+    """Eagerly descend through exhausted uniform runs (see module doc)."""
+    while kind[nid] == KIND_UNIFORM and within == chars_len[nid]:
+        nid = child[nid]
+        within = 0
+    return nid, within
+
+
+def flat_trees(index: ErtIndex) -> FlatTrees:
+    """Compile (or fetch the cached) flat form of ``index``'s trees."""
+    cached = getattr(index, "_flat_trees", None)
+    if cached is not None:
+        return cached
+
+    kind: "list[int]" = []
+    count: "list[int]" = []
+    chars_off: "list[int]" = []
+    chars_len: "list[int]" = []
+    child: "list[int]" = []
+    children_rows: "list[list[int]]" = []
+    leaf_text0: "list[int]" = []
+    pos_off: "list[int]" = []
+    pos_len: "list[int]" = []
+    chars_parts: "list[np.ndarray]" = []
+    pool_parts: "list[list[int]]" = []
+    pool_size = 0
+    chars_size = 0
+    # ERT001 exception: every node whose id() keys this map is pinned for
+    # the map's whole lifetime by the object tree in index.roots (the
+    # index outlives this compile), so ids cannot be recycled.
+    id2nid: "dict[int, int]" = {}
+
+    def compile_tree(root: Node) -> int:
+        nonlocal pool_size, chars_size
+        known = id2nid.get(id(root))  # repro: allow(ERT001)
+        if known is not None:
+            return known
+        # Iterative DFS with explicit entry/exit records so pos_len can be
+        # closed when a subtree is fully emitted into the pool.
+        stack: "list[tuple[Node, bool]]" = [(root, False)]
+        while stack:
+            node, done = stack.pop()
+            if done:
+                nid = id2nid[id(node)]  # repro: allow(ERT001)
+                pos_len[nid] = pool_size - pos_off[nid]
+                continue
+            nid = len(kind)
+            id2nid[id(node)] = nid  # repro: allow(ERT001)
+            count.append(int(node.count))
+            chars_off.append(0)
+            chars_len.append(0)
+            child.append(-1)
+            children_rows.append([-1, -1, -1, -1])
+            leaf_text0.append(-1)
+            pos_off.append(pool_size)
+            pos_len.append(0)
+            stack.append((node, True))
+            if isinstance(node, LeafNode):
+                kind.append(KIND_LEAF)
+                leaf_text0[nid] = int(node.positions[0])
+                pool_parts.append(list(node.positions))
+                pool_size += len(node.positions)
+            elif isinstance(node, UniformNode):
+                kind.append(KIND_UNIFORM)
+                chars_off[nid] = chars_size
+                chars_len[nid] = int(node.chars.size)
+                chars_parts.append(np.asarray(node.chars, dtype=np.int64))
+                chars_size += int(node.chars.size)
+                stack.append((node.child, False))
+            else:
+                assert isinstance(node, DivergeNode)
+                kind.append(KIND_DIVERGE)
+                if node.ended:
+                    pool_parts.append(list(node.ended))
+                    pool_size += len(node.ended)
+                # Push in reverse character order so the pool is filled in
+                # the scalar DFS's deterministic (sorted) child order.
+                for c in sorted(node.children, reverse=True):
+                    stack.append((node.children[c], False))
+        # Children / child links resolve after the subtree is numbered.
+        return id2nid[id(root)]  # repro: allow(ERT001)
+
+    roots = np.full(4 ** index.config.k, -1, dtype=np.int64)
+    for code in sorted(index.roots):
+        roots[code] = compile_tree(index.roots[code])
+
+    # Second pass: link fields (every referenced node now has an id).
+    for code in sorted(index.roots):
+        stack = [index.roots[code]]
+        seen: "set[int]" = set()
+        while stack:
+            node = stack.pop()
+            nid = id2nid[id(node)]  # repro: allow(ERT001)
+            if nid in seen:
+                continue
+            seen.add(nid)
+            if isinstance(node, UniformNode):
+                child[nid] = id2nid[id(node.child)]  # repro: allow(ERT001)
+                stack.append(node.child)
+            elif isinstance(node, DivergeNode):
+                for c, sub in node.children.items():
+                    children_rows[nid][c] = id2nid[id(sub)]  # repro: allow(ERT001)
+                    stack.append(sub)
+
+    # Jump tables: dense (n_tables, 4^x) arrays in slot order.
+    x = index.config.table_x
+    table_codes = sorted(index.tables)
+    n_tables = len(table_codes)
+    fan = 4 ** x
+    table_slot = np.full(4 ** index.config.k, -1, dtype=np.int64)
+    jt_matched = np.zeros((max(n_tables, 1), fan), dtype=np.int64)
+    jt_lep = np.zeros((max(n_tables, 1), fan), dtype=np.int64)
+    jt_node = np.full((max(n_tables, 1), fan), -1, dtype=np.int64)
+    jt_within = np.zeros((max(n_tables, 1), fan), dtype=np.int64)
+    jt_depth = np.zeros((max(n_tables, 1), fan), dtype=np.int64)
+    jt_count = np.zeros((max(n_tables, 1), fan), dtype=np.int64)
+    for slot, code in enumerate(table_codes):
+        table_slot[code] = slot
+        for subcode, entry in enumerate(index.tables[code]):
+            jt_matched[slot, subcode] = entry.matched
+            jt_lep[slot, subcode] = entry.lep_bits
+            state = entry.state
+            if state is None:
+                continue
+            if state.pending is not None:
+                nid = id2nid[id(state.pending)]  # repro: allow(ERT001)
+                within = 0
+            else:
+                nid = id2nid[id(state.node)]  # repro: allow(ERT001)
+                within = int(state.within)
+            nid, within = _settle_nid(kind, chars_len, child, nid, within)
+            jt_node[slot, subcode] = nid
+            jt_within[slot, subcode] = within
+            jt_depth[slot, subcode] = int(state.depth)
+            jt_count[slot, subcode] = int(state.count)
+
+    pool_flat: "list[int]" = []
+    for part in pool_parts:
+        pool_flat.extend(part)
+    flat = FlatTrees(
+        k=index.config.k,
+        table_x=x,
+        kind=np.asarray(kind, dtype=np.int64),
+        count=np.asarray(count, dtype=np.int64),
+        children=np.asarray(children_rows, dtype=np.int64).reshape(-1, 4),
+        child=np.asarray(child, dtype=np.int64),
+        chars_off=np.asarray(chars_off, dtype=np.int64),
+        chars_len=np.asarray(chars_len, dtype=np.int64),
+        chars_pool=(np.concatenate(chars_parts)
+                    if chars_parts else np.zeros(0, dtype=np.int64)),
+        leaf_text0=np.asarray(leaf_text0, dtype=np.int64),
+        pos_off=np.asarray(pos_off, dtype=np.int64),
+        pos_len=np.asarray(pos_len, dtype=np.int64),
+        pool=np.asarray(pool_flat, dtype=np.int64),
+        roots=roots,
+        table_slot=table_slot,
+        jt_matched=jt_matched,
+        jt_lep=jt_lep,
+        jt_node=jt_node,
+        jt_within=jt_within,
+        jt_depth=jt_depth,
+        jt_count=jt_count,
+    )
+    index._flat_trees = flat  # type: ignore[attr-defined]
+    return flat

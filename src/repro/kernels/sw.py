@@ -1,0 +1,177 @@
+"""Anti-diagonal wavefront banded Smith-Waterman over a batch of targets.
+
+:func:`batched_banded_sw` aligns one query against ``B`` target windows
+at once and returns exactly what ``B`` calls to
+:func:`repro.extend.smith_waterman.banded_smith_waterman` would -- same
+scores, same (first-occurrence) end coordinates, same cell counts.
+
+Layout: the DP matrix is swept by anti-diagonals ``d = i + j`` (``i``
+over query rows, ``j`` over target columns).  On diagonal ``d`` the
+in-band rows form one contiguous ``i`` interval, identical for every
+lane, so each diagonal of H/E/F for the whole batch is computed by one
+set of vector ops over a ``(B, rows)`` block:
+
+* the vertical-gap term ``E(i, j)`` reads row ``i-1`` of diagonal
+  ``d-1``;
+* the horizontal-gap term ``F(i, j)`` reads row ``i`` of diagonal
+  ``d-1``;
+* the match term reads row ``i-1`` of diagonal ``d-2``.
+
+Three rotating H planes plus E/F pairs live in the caller's
+:class:`~repro.extend.smith_waterman.SwWorkspace` grid buffer.  Out-of-
+band and out-of-matrix reads are masked *explicitly* to the scalar
+kernel's boundary values (H reads as 0 -- the scalar row reset -- and
+E/F as ``NEG_INF``) rather than trusting stale buffer contents; targets
+shorter than the widest lane never contaminate valid cells because a
+cell only ever reads same-or-smaller ``j``.
+
+Tie-breaking matches the scalar kernel's strict-improvement rule: the
+first row (then first column) attaining the maximum wins, implemented as
+per-diagonal first-occurrence argmax plus a smaller-``i`` replacement
+rule across diagonals.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.extend.smith_waterman import (
+    DEFAULT_SCHEME,
+    NEG_INF,
+    AlignmentResult,
+    ScoringScheme,
+    SwWorkspace,
+)
+
+
+def batched_banded_sw(query: np.ndarray, targets: "list[np.ndarray]",
+                      scheme: "ScoringScheme | None" = None,
+                      band: int = 41,
+                      workspace: "SwWorkspace | None" = None
+                      ) -> "list[AlignmentResult]":
+    """Band-restricted local alignment of ``query`` against each target.
+
+    Equivalent to ``[banded_smith_waterman(query, t, scheme, band,
+    workspace) for t in targets]``, computed wavefront-parallel across
+    the batch.
+    """
+    scheme = scheme or DEFAULT_SCHEME
+    if band < 1:
+        raise ValueError("band must be at least 1")
+    q = np.asarray(query, dtype=np.int64)
+    m = int(q.size)
+    B = len(targets)
+    if B == 0:
+        return []
+    half = band // 2
+    n_arr = np.array([int(np.asarray(t).size) for t in targets],
+                     dtype=np.int64)
+    n_max = int(n_arr.max()) if B else 0
+    if m == 0 or n_max == 0:
+        return [AlignmentResult(0, 0, 0, 0) for _ in targets]
+
+    # Cell counts are a closed form of the band geometry; compute them
+    # without touching the DP at all (the scalar loop breaks when the
+    # band falls off the target, i.e. after row n_b + half).
+    cells = np.zeros(B, dtype=np.int64)
+    for b in range(B):
+        nb = int(n_arr[b])
+        if nb == 0:
+            continue
+        rows = np.arange(1, min(m, nb + half) + 1, dtype=np.int64)
+        cells[b] = int(np.sum(np.minimum(nb, rows + half)
+                              - np.maximum(1, rows - half) + 1))
+
+    # Targets padded with a sentinel that can never equal a base code.
+    tpad = np.full((B, n_max), 127, dtype=np.int64)
+    for b, t in enumerate(targets):
+        tb = np.asarray(t, dtype=np.int64)
+        tpad[b, :tb.size] = tb
+
+    workspace = workspace or SwWorkspace()
+    width = m + 1
+    grid = workspace.grid(7, B, width)
+    h_m2, h_m1, h_cur, e_m1, e_cur, f_m1, f_cur = grid
+    h_m2[:] = 0
+    h_m1[:] = 0
+    e_m1[:] = NEG_INF
+    f_m1[:] = NEG_INF
+
+    match = scheme.match
+    mismatch = scheme.mismatch
+    open_ = scheme.gap_open
+    ext = scheme.gap_extend
+
+    best = np.zeros(B, dtype=np.int64)
+    best_i = np.zeros(B, dtype=np.int64)
+    best_j = np.zeros(B, dtype=np.int64)
+    ncol = n_arr[:, None]
+
+    for d in range(2, m + n_max + 1):
+        i_lo = max(1, (d - half + 1) // 2, d - n_max)
+        i_hi = min(m, (d + half) // 2, d - 1)
+        if i_lo > i_hi:
+            # No in-band rows on this diagonal; the planes must still
+            # rotate so d-2 reads stay aligned (an empty diagonal is
+            # never a read source -- every mask checks band membership).
+            h_m2, h_m1, h_cur = h_m1, h_cur, h_m2
+            e_m1, e_cur = e_cur, e_m1
+            f_m1, f_cur = f_cur, f_m1
+            continue
+        I = np.arange(i_lo, i_hi + 1, dtype=np.int64)
+        J = d - I
+        valid = J[None, :] <= ncol  # (B, rows): inside this lane's target
+
+        # Vertical gap E(i, j): source (i-1, j) on diagonal d-1.  The
+        # source exists iff row i-1 >= 1 and j is inside row i-1's band
+        # window; otherwise the scalar kernel read H=0 (row reset) and
+        # E=NEG_INF.
+        e_ok = (I > 1) & (np.abs((I - 1) - J) <= half)
+        h_up = np.where(e_ok, h_m1[:, i_lo - 1:i_hi], 0)
+        e_up = np.where(e_ok, e_m1[:, i_lo - 1:i_hi], NEG_INF)
+        e_new = np.maximum(h_up + open_, e_up + ext)
+
+        # Horizontal gap F(i, j): source (i, j-1) on diagonal d-1.  The
+        # source exists iff j-1 >= lo_i = max(1, i - half); at the band's
+        # left edge the scalar kernel read h_cur[lo-1] = 0 and F=NEG_INF.
+        f_ok = (J - 1 >= 1) & (J - 1 >= I - half)
+        h_left = np.where(f_ok, h_m1[:, i_lo:i_hi + 1], 0)
+        f_left = np.where(f_ok, f_m1[:, i_lo:i_hi + 1], NEG_INF)
+        f_new = np.maximum(h_left + open_, f_left + ext)
+
+        # Match term: (i-1, j-1) on diagonal d-2 (0 on the borders; the
+        # source is always in-band when the current cell is).
+        diag_ok = (I > 1) & (J > 1)
+        h_diag = np.where(diag_ok, h_m2[:, i_lo - 1:i_hi], 0)
+        sub = np.where(tpad[:, J - 1] == q[I - 1][None, :], match, mismatch)
+        h_new = np.maximum(np.maximum(h_diag + sub, 0),
+                           np.maximum(e_new, f_new))
+
+        h_cur[:, i_lo:i_hi + 1] = h_new
+        e_cur[:, i_lo:i_hi + 1] = e_new
+        f_cur[:, i_lo:i_hi + 1] = f_new
+
+        scores = np.where(valid, h_new, NEG_INF)
+        mx = scores.max(axis=1)
+        am = scores.argmax(axis=1)  # first occurrence == smallest i
+        cand_i = I[am]
+        upd = (mx > best) | ((mx == best) & (cand_i < best_i))
+        if upd.any():
+            best[upd] = mx[upd]
+            best_i[upd] = cand_i[upd]
+            best_j[upd] = d - cand_i[upd]
+
+        h_m2, h_m1, h_cur = h_m1, h_cur, h_m2
+        e_m1, e_cur = e_cur, e_m1
+        f_m1, f_cur = f_cur, f_m1
+
+    out = []
+    for b in range(B):
+        if int(n_arr[b]) == 0:
+            out.append(AlignmentResult(0, 0, 0, 0))
+        elif int(best[b]) > 0:
+            out.append(AlignmentResult(int(best[b]), int(best_i[b]),
+                                       int(best_j[b]), int(cells[b])))
+        else:
+            out.append(AlignmentResult(0, 0, 0, int(cells[b])))
+    return out

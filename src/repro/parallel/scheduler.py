@@ -61,6 +61,12 @@ from repro.core.index import ErtIndex
 from repro.extend.paired import PairedAligner
 from repro.extend.pipeline import ReadAligner
 from repro.extend.sam import SamRecord
+from repro.kernels import (
+    batched_banded_sw,
+    resolve_kernels,
+    seed_batch,
+    vector_ready,
+)
 from repro.memsim.trace import MemoryTracer
 from repro.parallel.batch import ReadBatch, iter_chunks, pack_batch
 from repro.parallel.faults import (
@@ -114,11 +120,19 @@ class ParallelConfig:
     #: merged telemetry are identical either way -- spawn just pays a
     #: slower worker boot, which the fault/exemplar tests exercise.
     start_method: "str | None" = None
+    #: Kernel selection ("scalar"/"vector"); None defers to
+    #: ``$REPRO_KERNELS`` (else scalar).  "vector" routes seeding through
+    #: the batched kernels (:mod:`repro.kernels`) wherever the engine is
+    #: eligible -- output stays byte-identical at any worker count.
+    kernels: "str | None" = None
 
     def resolved_workers(self) -> int:
         if self.workers is not None:
             return max(1, self.workers)
         return default_workers()
+
+    def resolved_kernels(self) -> str:
+        return resolve_kernels(self.kernels)
 
     def resolved_inflight(self, workers: int) -> int:
         if self.max_inflight is not None:
@@ -233,12 +247,23 @@ class _SeedRunner:
                  options: "dict[str, Any]") -> None:
         self.engine = engine
         self.params: SeedingParams = options["params"]
+        self.vector = options.get("kernels") == "vector"
 
     def __call__(self, batch: ReadBatch) -> "list[str]":
         engine = self.engine
         reads = batch.reads()
         engine.begin_batch(reads)
         lines: "list[str]" = []
+        if self.vector and vector_ready(engine):
+            # Whole-batch vectorized walk; per-read results come back in
+            # input order, so the TSV stream is byte-identical.
+            for name, result in zip(batch.names,
+                                    seed_batch(engine, reads, self.params)):
+                for seed in result.all_seeds:
+                    hits = ",".join(str(h) for h in seed.hits)
+                    lines.append(f"{name}\t{seed.read_start}\t{seed.length}"
+                                 f"\t{seed.hit_count}\t{hits}\n")
+            return lines
         for name, read in zip(batch.names, reads):
             result = instrumented_seed_read(engine, name, read,
                                             self.params)
@@ -255,12 +280,23 @@ class _AlignRunner:
     def __init__(self, engine: SeedingEngine,
                  options: "dict[str, Any]") -> None:
         reference = engine.index.reference  # type: ignore[attr-defined]
-        self.aligner = ReadAligner(reference, engine,
-                                   params=options.get("params"))
+        self.vector = options.get("kernels") == "vector"
+        self.aligner = ReadAligner(
+            reference, engine, params=options.get("params"),
+            sw_batch=batched_banded_sw if self.vector else None)
 
     def __call__(self, batch: ReadBatch) -> "list[SamRecord]":
         reads = batch.reads()
-        self.aligner.engine.begin_batch(reads)
+        engine = self.aligner.engine
+        engine.begin_batch(reads)
+        if self.vector and vector_ready(engine):
+            # vector_ready implies no exemplar probe, so skipping the
+            # instrumented wrapper changes nothing observable.
+            seeded = seed_batch(engine, reads, self.aligner.params)
+            return [self.aligner.align_sam(read, name, quality,
+                                           seeding=seeding)
+                    for name, quality, read, seeding
+                    in zip(batch.names, batch.qualities, reads, seeded)]
         return [instrumented_align_sam(self.aligner, read, name, quality)
                 for name, quality, read
                 in zip(batch.names, batch.qualities, reads)]
@@ -272,17 +308,29 @@ class _AlignPairsRunner:
     def __init__(self, engine: SeedingEngine,
                  options: "dict[str, Any]") -> None:
         reference = engine.index.reference  # type: ignore[attr-defined]
+        self.vector = options.get("kernels") == "vector"
         self.paired = PairedAligner(
-            ReadAligner(reference, engine, params=options.get("params")),
+            ReadAligner(reference, engine, params=options.get("params"),
+                        sw_batch=batched_banded_sw if self.vector
+                        else None),
             insert_mean=options["insert_mean"],
             insert_sd=options["insert_sd"])
 
     def __call__(self, batch: ReadBatch) -> "list[SamRecord]":
         reads = batch.reads()
-        self.paired.aligner.engine.begin_batch(reads)
+        engine = self.paired.aligner.engine
+        engine.begin_batch(reads)
         records: "list[SamRecord]" = []
+        seeded = (seed_batch(engine, reads, self.paired.aligner.params)
+                  if self.vector and vector_ready(engine) else None)
         for i in range(0, len(reads), 2):
             name = batch.names[i].split("/")[0]
+            if seeded is not None:
+                records.extend(self.paired.align_pair(
+                    reads[i], reads[i + 1], name, batch.qualities[i],
+                    batch.qualities[i + 1], seeding1=seeded[i],
+                    seeding2=seeded[i + 1]))
+                continue
             records.extend(instrumented_align_pair(
                 self.paired, reads[i], reads[i + 1], name,
                 batch.qualities[i], batch.qualities[i + 1]))
@@ -772,7 +820,8 @@ def seed_reads(index: ErtIndex, reads: "Sequence[object]",
     """Seed ``reads`` in batches; returns the CLI's TSV lines (one per
     seed, newline-terminated, in input order) plus aggregated stats."""
     config = config or ParallelConfig()
-    options: "dict[str, Any]" = {"params": params or SeedingParams()}
+    options: "dict[str, Any]" = {"params": params or SeedingParams(),
+                                 "kernels": config.resolved_kernels()}
     batches = [pack_batch(chunk)
                for chunk in iter_chunks(reads, config.batch_size)]
     per_batch, stats = _execute_over_index(index, "seed", options, batches,
@@ -789,7 +838,8 @@ def align_reads(index: ErtIndex, reads: "Sequence[object]",
     """Align ``reads`` to SAM records, byte-identical to the serial
     per-read loop, in input order."""
     config = config or ParallelConfig()
-    options: "dict[str, Any]" = {"params": params or SeedingParams()}
+    options: "dict[str, Any]" = {"params": params or SeedingParams(),
+                                 "kernels": config.resolved_kernels()}
     batches = [pack_batch(chunk)
                for chunk in iter_chunks(reads, config.batch_size)]
     per_batch, stats = _execute_over_index(index, "align", options,
@@ -813,6 +863,7 @@ def align_pairs(index: ErtIndex, reads: "Sequence[object]",
         raise ValueError("interleaved read set must hold an even count")
     config = config or ParallelConfig()
     options: "dict[str, Any]" = {"params": params or SeedingParams(),
+                                 "kernels": config.resolved_kernels(),
                                  "insert_mean": insert_mean,
                                  "insert_sd": insert_sd}
     batches = [pack_batch(chunk)

@@ -1,0 +1,334 @@
+"""Scalar-vs-vector kernel equivalence (the oracle contract).
+
+The batched kernels (:mod:`repro.kernels`) promise byte-identical output
+to the scalar paths at every level: seeds from :func:`seed_batch`, SAM
+records through the scheduler with ``kernels="vector"`` at any worker
+count, and scores/coordinates from the wavefront Smith-Waterman.  These
+tests fuzz that promise over adversarial reads (short, homopolymer,
+error-heavy, reverse-complement) and band-edge SW geometries.
+"""
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.core import ErtSeedingEngine
+from repro.extend.pipeline import ReadAligner
+from repro.extend.paired import PairedAligner
+from repro.extend.smith_waterman import (
+    DEFAULT_SCHEME,
+    ScoringScheme,
+    SwWorkspace,
+    banded_smith_waterman,
+)
+from repro.kernels import (
+    batched_banded_sw,
+    resolve_kernels,
+    seed_batch,
+    vector_ready,
+)
+from repro.memsim.trace import MemoryTracer
+from repro.parallel import ParallelConfig, align_pairs, align_reads, seed_reads
+from repro.seeding.algorithm import seed_read
+
+
+def _seed_key(result):
+    return [(s.read_start, s.length, s.hit_count, tuple(s.hits))
+            for s in result.all_seeds]
+
+
+def _assert_batch_matches_scalar(ert_index, read_list, params):
+    scalar_engine = ErtSeedingEngine(ert_index)
+    vector_engine = ErtSeedingEngine(ert_index)
+    scalar = [seed_read(scalar_engine, r, params) for r in read_list]
+    vector = seed_batch(vector_engine, read_list, params)
+    assert len(scalar) == len(vector)
+    for i, (a, b) in enumerate(zip(scalar, vector)):
+        assert _seed_key(a) == _seed_key(b), f"read {i} diverged"
+    assert (scalar_engine.stats.truncated_hit_lists
+            == vector_engine.stats.truncated_hit_lists)
+
+
+def test_seed_batch_matches_scalar_on_fixture_reads(ert_index, read_codes,
+                                                    params):
+    _assert_batch_matches_scalar(ert_index, read_codes, params)
+
+
+def _fuzz_reads(reference, rng, count):
+    """Adversarial read set: reference slices with errors, pure random
+    sequence, homopolymers, and lengths straddling k / min_seed_len."""
+    n = len(reference)
+    out = []
+    for i in range(count):
+        kind = i % 5
+        if kind == 0:  # clean reference slice
+            length = int(rng.integers(20, 90))
+            start = int(rng.integers(0, n - length))
+            read = reference.codes[start:start + length].copy()
+        elif kind == 1:  # error-heavy slice (forces early LEP splits)
+            length = int(rng.integers(20, 90))
+            start = int(rng.integers(0, n - length))
+            read = reference.codes[start:start + length].copy()
+            for _ in range(int(rng.integers(1, 6))):
+                read[int(rng.integers(0, length))] = int(rng.integers(0, 4))
+        elif kind == 2:  # pure random (mostly dead-end walks)
+            read = rng.integers(0, 4, size=int(rng.integers(1, 60)))
+        elif kind == 3:  # homopolymer (deep-repeat LAST scans)
+            read = np.full(int(rng.integers(5, 70)),
+                           int(rng.integers(0, 4)))
+        else:  # short reads around the k / min_seed_len boundaries
+            read = rng.integers(0, 4, size=int(rng.integers(1, 14)))
+        out.append(np.asarray(read, dtype=np.uint8))
+    return out
+
+
+def test_seed_batch_matches_scalar_on_fuzzed_reads(ert_index, reference,
+                                                   params):
+    rng = np.random.default_rng(2024)
+    reads = _fuzz_reads(reference, rng, 60)
+    _assert_batch_matches_scalar(ert_index, reads, params)
+
+
+def test_seed_batch_matches_scalar_under_tight_hit_cap(ert_index, reference,
+                                                       params):
+    """A small gather limit exercises the truncated-hit-list branch in
+    both the cache-preseed and walk-fallback paths."""
+    from repro.seeding import SeedingParams
+
+    rng = np.random.default_rng(7)
+    reads = _fuzz_reads(reference, rng, 30)
+    tight = SeedingParams(min_seed_len=params.min_seed_len,
+                          max_hits_per_seed=2)
+    scalar_engine = ErtSeedingEngine(ert_index, gather_limit=2)
+    vector_engine = ErtSeedingEngine(ert_index, gather_limit=2)
+    scalar = [seed_read(scalar_engine, r, tight) for r in reads]
+    vector = seed_batch(vector_engine, reads, tight)
+    for a, b in zip(scalar, vector):
+        assert _seed_key(a) == _seed_key(b)
+    assert scalar_engine.stats.truncated_hit_lists \
+        == vector_engine.stats.truncated_hit_lists
+    assert vector_engine.stats.truncated_hit_lists > 0
+
+
+def test_vector_ready_gates(ert_index, ert):
+    engine = ErtSeedingEngine(ert_index)
+    assert vector_ready(engine)
+    telemetry.reset()
+    telemetry.enable()
+    try:
+        assert not vector_ready(engine)
+    finally:
+        telemetry.disable()
+    tracer = MemoryTracer()
+    ert_index.attach_tracer(tracer)
+    try:
+        assert not vector_ready(engine)
+    finally:
+        ert_index.attach_tracer(None)
+    assert vector_ready(engine)
+
+
+def test_seed_batch_falls_back_when_ineligible(ert_index, read_codes,
+                                               params):
+    """With telemetry live the batch entry point must still return the
+    scalar results (it silently takes the per-read loop)."""
+    engine = ErtSeedingEngine(ert_index)
+    oracle = [seed_read(ErtSeedingEngine(ert_index), r, params)
+              for r in read_codes]
+    telemetry.reset()
+    telemetry.enable()
+    try:
+        results = seed_batch(engine, read_codes, params)
+    finally:
+        telemetry.disable()
+    for a, b in zip(oracle, results):
+        assert _seed_key(a) == _seed_key(b)
+
+
+def test_resolve_kernels(monkeypatch):
+    monkeypatch.delenv("REPRO_KERNELS", raising=False)
+    assert resolve_kernels() == "scalar"
+    assert resolve_kernels("vector") == "vector"
+    monkeypatch.setenv("REPRO_KERNELS", "vector")
+    assert resolve_kernels() == "vector"
+    assert resolve_kernels("scalar") == "scalar"
+    monkeypatch.setenv("REPRO_KERNELS", "simd")
+    with pytest.raises(ValueError):
+        resolve_kernels()
+
+
+# ----------------------------------------------------------------------
+# End-to-end byte identity through the scheduler
+# ----------------------------------------------------------------------
+
+
+def test_seed_tsv_identical_vector_three_workers(ert_index, reads, params):
+    base_lines, base_stats = seed_reads(
+        ert_index, reads, params, config=ParallelConfig(workers=1))
+    for config in (ParallelConfig(workers=1, kernels="vector"),
+                   ParallelConfig(workers=3, batch_size=7,
+                                  kernels="vector")):
+        lines, stats = seed_reads(ert_index, reads, params, config=config)
+        assert lines == base_lines
+        assert stats.truncated_hit_lists == base_stats.truncated_hit_lists
+
+
+def test_align_sam_identical_vector_three_workers(ert_index, reads, params):
+    base, _ = align_reads(ert_index, reads, params,
+                          config=ParallelConfig(workers=1))
+    vec, _ = align_reads(ert_index, reads, params,
+                         config=ParallelConfig(workers=3, batch_size=7,
+                                               kernels="vector"))
+    assert vec == base
+
+
+def test_align_pairs_identical_vector_three_workers(ert_index, reads,
+                                                    params):
+    paired = reads[:len(reads) - len(reads) % 2]
+    base, _ = align_pairs(ert_index, paired, params,
+                          config=ParallelConfig(workers=1))
+    vec, _ = align_pairs(ert_index, paired, params,
+                         config=ParallelConfig(workers=3, batch_size=4,
+                                               kernels="vector"))
+    assert vec == base
+
+
+# ----------------------------------------------------------------------
+# Wavefront Smith-Waterman vs the scalar kernel
+# ----------------------------------------------------------------------
+
+
+def _assert_sw_batch_matches(query, targets, scheme, band):
+    workspace = SwWorkspace()
+    batched = batched_banded_sw(query, targets, scheme, band,
+                                workspace=workspace)
+    for target, got in zip(targets, batched):
+        want = banded_smith_waterman(query, target, scheme, band)
+        assert (got.score, got.query_end, got.target_end, got.cells) \
+            == (want.score, want.query_end, want.target_end, want.cells)
+
+
+def test_batched_sw_fuzzed_geometries():
+    rng = np.random.default_rng(5150)
+    for band in (1, 3, 8, 41):
+        for m in (1, 7, 40):
+            query = rng.integers(0, 4, size=m)
+            targets = [
+                rng.integers(0, 4, size=1),
+                rng.integers(0, 4, size=max(1, m // 2)),
+                rng.integers(0, 4, size=m),
+                rng.integers(0, 4, size=m + band),  # band falls off end
+                query.copy(),                       # perfect diagonal
+            ]
+            _assert_sw_batch_matches(query, targets, DEFAULT_SCHEME, band)
+
+
+def test_batched_sw_tie_breaking_on_homopolymers():
+    """All-A query vs all-A targets: every diagonal cell ties at the
+    maximum, so any tie-break drift from the scalar first-occurrence
+    rule shows up immediately."""
+    query = np.zeros(12, dtype=np.uint8)
+    targets = [np.zeros(n, dtype=np.uint8) for n in (3, 12, 20, 40)]
+    _assert_sw_batch_matches(query, targets, DEFAULT_SCHEME, 5)
+
+
+def test_batched_sw_negative_scheme_and_mismatch_only():
+    scheme = ScoringScheme(match=2, mismatch=-3, gap_open=-5,
+                           gap_extend=-1)
+    rng = np.random.default_rng(77)
+    query = rng.integers(0, 4, size=25)
+    mismatch_only = (query[::-1] + 1) % 4  # no exact run anywhere
+    targets = [mismatch_only, rng.integers(0, 4, size=30)]
+    _assert_sw_batch_matches(query, targets, scheme, 9)
+
+
+def test_batched_sw_empty_batch_and_reused_workspace():
+    assert batched_banded_sw(np.zeros(5, dtype=np.uint8), []) == []
+    # A shared workspace across differently-shaped batches must not
+    # leak state between calls.
+    workspace = SwWorkspace()
+    rng = np.random.default_rng(13)
+    query = rng.integers(0, 4, size=18)
+    for _ in range(3):
+        targets = [rng.integers(0, 4, size=int(rng.integers(1, 30)))
+                   for _ in range(4)]
+        batched = batched_banded_sw(query, targets, DEFAULT_SCHEME, 7,
+                                    workspace=workspace)
+        for target, got in zip(targets, batched):
+            want = banded_smith_waterman(query, target, DEFAULT_SCHEME, 7)
+            assert (got.score, got.query_end, got.target_end) \
+                == (want.score, want.query_end, want.target_end)
+
+
+def test_batched_sw_rejects_bad_band():
+    with pytest.raises(ValueError):
+        batched_banded_sw(np.zeros(4, dtype=np.uint8),
+                          [np.zeros(4, dtype=np.uint8)], band=0)
+
+
+# ----------------------------------------------------------------------
+# Pipeline integration: injected seeding + batched extension
+# ----------------------------------------------------------------------
+
+
+def _outcome_key(outcome):
+    aln = outcome.alignment
+    return (None if aln is None else
+            (aln.strand, aln.position, aln.score, aln.chain_score),
+            outcome.n_seeds, outcome.n_chains,
+            outcome.workload.sw_extensions, outcome.workload.sw_rows_total,
+            outcome.workload.edit_checks, outcome.workload.edit_rows_total)
+
+
+def test_read_aligner_sw_batch_matches_scalar(ert_index, read_codes,
+                                              params):
+    reference = ert_index.reference
+    scalar = ReadAligner(reference, ErtSeedingEngine(ert_index),
+                         params=params)
+    batched = ReadAligner(reference, ErtSeedingEngine(ert_index),
+                          params=params, sw_batch=batched_banded_sw)
+    for read in read_codes:
+        assert _outcome_key(batched.align(read)) \
+            == _outcome_key(scalar.align(read))
+
+
+def test_read_aligner_sw_batch_without_edit_shortcut(ert_index, read_codes,
+                                                     params):
+    """edit_check_first=False forces every chain through the wavefront
+    kernel, covering the all-SW batch shape."""
+    reference = ert_index.reference
+    scalar = ReadAligner(reference, ErtSeedingEngine(ert_index),
+                         params=params, edit_check_first=False)
+    batched = ReadAligner(reference, ErtSeedingEngine(ert_index),
+                          params=params, edit_check_first=False,
+                          sw_batch=batched_banded_sw)
+    for read in read_codes:
+        assert _outcome_key(batched.align(read)) \
+            == _outcome_key(scalar.align(read))
+
+
+def test_align_sam_with_injected_seeding(ert_index, reads, params):
+    reference = ert_index.reference
+    engine = ErtSeedingEngine(ert_index)
+    aligner = ReadAligner(reference, engine, params=params)
+    codes = [r.codes for r in reads]
+    seeded = seed_batch(engine, codes, params)
+    for read, seeding in zip(reads, seeded):
+        plain = aligner.align_sam(read.codes, read.name, read.quality)
+        injected = aligner.align_sam(read.codes, read.name, read.quality,
+                                     seeding=seeding)
+        assert injected == plain
+
+
+def test_align_pair_with_injected_seeding(ert_index, reads, params):
+    reference = ert_index.reference
+    engine = ErtSeedingEngine(ert_index)
+    paired = PairedAligner(ReadAligner(reference, engine, params=params))
+    codes = [r.codes for r in reads[:6]]
+    seeded = seed_batch(engine, codes, params)
+    for i in range(0, 6, 2):
+        plain = paired.align_pair(codes[i], codes[i + 1], f"pair{i}")
+        injected = paired.align_pair(codes[i], codes[i + 1], f"pair{i}",
+                                     seeding1=seeded[i],
+                                     seeding2=seeded[i + 1])
+        assert injected == plain

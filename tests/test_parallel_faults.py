@@ -74,8 +74,15 @@ def _run_seed(index, reads, params, config, fault):
 
 def test_sigkill_recovery_is_byte_identical(ert_index, reads, params,
                                             tmp_path, shm_leak_check):
+    # The faulted run below executes with telemetry enabled, which makes
+    # the engine ineligible for the vector kernels (it falls back to the
+    # scalar walk, whose EngineStats count nodes the gather walk never
+    # touches).  Pin the baseline to the same backend so the stats
+    # comparison is backend-for-backend even when $REPRO_KERNELS=vector
+    # drives the rest of this suite.
     baseline, base_stats = seed_reads(
-        ert_index, reads, params, ParallelConfig(workers=1))
+        ert_index, reads, params,
+        ParallelConfig(workers=1, kernels="scalar"))
     token = str(tmp_path / "sigkill.token")
     telemetry.reset()
     telemetry.enable()
@@ -199,8 +206,12 @@ def test_task_exception_propagates_without_retry(ert_index, reads, params,
 
 def test_pool_init_failure_falls_back_to_serial(ert_index, reads, params,
                                                 shm_leak_check):
-    baseline, base_stats = seed_reads(ert_index, reads, params,
-                                      ParallelConfig(workers=1))
+    # Telemetry is enabled around the degraded run, which pins its
+    # engine to the scalar walk (vector kernels are ineligible under
+    # telemetry) -- match backends for the stats comparison below.
+    baseline, base_stats = seed_reads(
+        ert_index, reads, params,
+        ParallelConfig(workers=1, kernels="scalar"))
     telemetry.reset()
     telemetry.enable()
     try:
