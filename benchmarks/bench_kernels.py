@@ -19,11 +19,12 @@ Seeding is timed at two batch sizes because the vector walk amortizes
 per-batch setup (code packing, flat-tree gather tables) that the
 scalar loop does not have; the headline speedup compares each
 backend's best configuration.  The alignment leg runs on a read
-subset and asserts byte-identical SAM, but its rate is informational
-(JSON only, not a ledger metric): SAM production is dominated by the
-per-chain CIGAR traceback, which both kernel modes share, so its
-vector/scalar ratio is ~1.0 by construction and gating on it would
-only measure timer noise.
+subset, asserts byte-identical SAM, and -- now that the vector path
+routes the per-chain CIGAR production through the batched wavefront
+traceback (``batched_sw_traceback``) -- its ``align.reads_per_sec``
+is a gated ledger metric alongside seeding: the ``--threshold 0.0``
+diff fails whenever vector ``align`` is not strictly faster than
+scalar on this workload.
 """
 
 import json
@@ -46,6 +47,10 @@ N_ALIGN = 120
 #: Acceptance floor: vector seeding throughput vs the scalar oracle,
 #: best batch size each (ISSUE 8 requires >= 3x on this workload).
 MIN_SEED_SPEEDUP = 3.0
+#: Acceptance floor for the SAM path: the batched wavefront traceback
+#: plus batched seeding must beat the scalar aligner end to end
+#: (ISSUE 9); the ledger gate additionally requires strictly > 1.0.
+MIN_ALIGN_SPEEDUP = 1.1
 
 
 def _time_best(fn, rounds=ROUNDS):
@@ -131,9 +136,11 @@ def test_kernel_throughput_ledger_gate(ert_index, reads, params):
     # kernels beating the oracle.
     workload = payload["workload"]
     for kernels in ("scalar", "vector"):
-        metrics = {"seeding.reads_per_sec": best_seed[kernels]}
+        metrics = {"seeding.reads_per_sec": best_seed[kernels],
+                   "align.reads_per_sec": align_rps[kernels]}
         if kernels == "vector":
             metrics["seed_speedup_vs_scalar"] = seed_speedup
+            metrics["align_speedup_vs_scalar"] = align_speedup
         append_record(str(LEDGER_PATH), build_record(
             BENCHMARK, metrics, label=f"kernels-{kernels}",
             workload=workload,
@@ -158,10 +165,12 @@ def test_kernel_throughput_ledger_gate(ert_index, reads, params):
         + f"\nseed speedup {seed_speedup:.2f}x"
         f"  align speedup {align_speedup:.2f}x")
 
-    # What must hold on any machine: identical output (asserted above),
-    # the acceptance speedup on seeding (the ledger diff re-checks it
-    # from the recorded manifests), and sane positive rates.
+    # What must hold on any machine: identical output (asserted above)
+    # and the acceptance speedups on seeding *and* the SAM path (the
+    # ledger diff re-checks both from the recorded manifests).
     assert seed_speedup >= MIN_SEED_SPEEDUP, \
         f"vector seeding speedup {seed_speedup:.2f}x below the " \
         f"{MIN_SEED_SPEEDUP:.1f}x acceptance floor"
-    assert all(rps > 0 for rps in align_rps.values())
+    assert align_speedup >= MIN_ALIGN_SPEEDUP, \
+        f"vector align speedup {align_speedup:.2f}x below the " \
+        f"{MIN_ALIGN_SPEEDUP:.1f}x acceptance floor"

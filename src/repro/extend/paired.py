@@ -68,12 +68,10 @@ class PairedAligner:
         result = seeding if seeding is not None \
             else seed_read(aligner.engine, read, aligner.params)
         chains = chain_seeds(result.all_seeds)
-        out = []
-        for chain in chains[:self.max_candidates]:
-            traced = aligner._trace_chain(read, chain)
-            if traced is not None:
-                score, strand, position, cigar = traced
-                out.append(Placement(score, strand, position, cigar))
+        out = [Placement(score, strand, position, cigar)
+               for score, strand, position, cigar
+               in aligner._trace_chains(read,
+                                        chains[:self.max_candidates])]
         out.sort(key=lambda p: -p.score)
         return out
 
@@ -112,7 +110,8 @@ class PairedAligner:
         # diagonal, so the rescue search runs unbanded (the window is
         # only an insert-size long; this is what BWA's mate-SW does too).
         traced = banded_sw_traceback(query, target, self.aligner.scheme,
-                                     band=2 * int(target.size) + 1)
+                                     band=2 * int(target.size) + 1,
+                                     workspace=self.aligner._sw_workspace)
         if not traced.is_aligned or traced.score < len(read) // 2:
             return None
         # The query handed to the kernel already runs along the forward

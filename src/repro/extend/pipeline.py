@@ -70,7 +70,8 @@ class ReadAligner:
                  scheme: "ScoringScheme | None" = None,
                  band: int = 41, max_chains_extended: int = 8,
                  edit_check_first: bool = True,
-                 sw_batch: "Callable | None" = None) -> None:
+                 sw_batch: "Callable | None" = None,
+                 tb_batch: "Callable | None" = None) -> None:
         self.reference = reference
         self.engine = engine
         self.params = params or SeedingParams()
@@ -84,9 +85,17 @@ class ReadAligner:
         #: wavefront call instead of one row-wise SW per chain -- same
         #: scores, same coordinates.  Injected by callers (the parallel
         #: scheduler, the CLI) because the extend layer sits below
-        #: ``repro.kernels`` in the import DAG.  The SAM paths keep the
-        #: per-chain traceback kernel either way.
+        #: ``repro.kernels`` in the import DAG.
         self.sw_batch = sw_batch
+        #: Optional batched *traceback* kernel with the calling
+        #: convention of :func:`repro.kernels.traceback.
+        #: batched_sw_traceback`.  When set, the SAM paths
+        #: (:meth:`align_sam`, :meth:`align_sam_multi`, and the paired
+        #: candidate sweep) trace all of a read's surviving chains in
+        #: one wavefront call instead of one scalar traceback per chain
+        #: -- same records byte for byte.  Injected alongside
+        #: ``sw_batch`` for the same layering reason.
+        self.tb_batch = tb_batch
         self._text = reference.both_strands
         # One workspace per aligner: the SW kernel's row buffers are
         # reused across every extension instead of allocated per call.
@@ -282,12 +291,9 @@ class ReadAligner:
                 chains = chain_seeds(result.all_seeds)
             self._begin_read_stats(result.all_seeds, chains)
             quality = quality or "I" * int(read.size)
-            candidates = []
             with telemetry.span("extend"):
-                for chain in chains[:self.max_chains_extended]:
-                    traced = self._trace_chain(read, chain)
-                    if traced is not None:
-                        candidates.append(traced)
+                candidates = self._trace_chains(
+                    read, chains[:self.max_chains_extended])
             self._record_read_metrics(len(result.all_seeds), len(chains),
                                       mapped=bool(candidates))
         if not candidates:
@@ -314,12 +320,9 @@ class ReadAligner:
                 chains = chain_seeds(result.all_seeds)
             self._begin_read_stats(result.all_seeds, chains)
             quality = quality or "I" * int(read.size)
-            candidates = []
             with telemetry.span("extend"):
-                for chain in chains[:self.max_chains_extended]:
-                    traced = self._trace_chain(read, chain)
-                    if traced is not None:
-                        candidates.append(traced)
+                candidates = self._trace_chains(
+                    read, chains[:self.max_chains_extended])
             self._record_read_metrics(len(result.all_seeds), len(chains),
                                       mapped=bool(candidates))
         if not candidates:
@@ -346,7 +349,9 @@ class ReadAligner:
                 records.append(_replace(rec, flag=rec.flag | 0x100))
         return records
 
-    def _trace_chain(self, read: np.ndarray, chain: Chain):
+    def _prepare_trace(self, read: np.ndarray, chain: Chain):
+        """Window setup + telemetry for one chain's traceback, or
+        ``None`` when the window is too short to bother extending."""
         n = int(read.size)
         ref_begin = max(0, chain.ref_start - chain.read_start
                         - self.band // 2)
@@ -361,7 +366,11 @@ class ReadAligner:
             stats["sw_extensions"] = stats.get("sw_extensions", 0) + 1
             stats["sw_cells"] = (stats.get("sw_cells", 0)
                                  + int(window.size) * self.band)
-        traced = banded_sw_traceback(read, window, self.scheme, self.band)
+        return ref_begin, window
+
+    def _finalize_trace(self, traced, ref_begin: int):
+        """Map one traced window alignment back to forward-strand SAM
+        coordinates; ``None`` for unaligned or off-reference hits."""
         if not traced.is_aligned:
             return None
         ref_len = traced.target_end - traced.target_start
@@ -376,3 +385,39 @@ class ReadAligner:
             cigar = tuple(reversed(cigar))
         cigar_str = "".join(f"{length}{op}" for op, length in cigar)
         return traced.score, hit.strand, hit.start, cigar_str
+
+    def _trace_chain(self, read: np.ndarray, chain: Chain):
+        prepared = self._prepare_trace(read, chain)
+        if prepared is None:
+            return None
+        ref_begin, window = prepared
+        traced = banded_sw_traceback(read, window, self.scheme, self.band,
+                                     workspace=self._sw_workspace)
+        return self._finalize_trace(traced, ref_begin)
+
+    def _trace_chains(self, read: np.ndarray, chains: "list[Chain]"):
+        """Traceback candidates for a read's chains, in chain order.
+
+        With :attr:`tb_batch` set, every surviving window goes through
+        one batched wavefront call; otherwise one scalar traceback per
+        chain.  Window setup and telemetry run in chain order either
+        way, so the candidate list -- and every counter -- is identical.
+        """
+        if self.tb_batch is None:
+            return [c for c in (self._trace_chain(read, chain)
+                                for chain in chains) if c is not None]
+        begins: "list[int]" = []
+        windows: "list[np.ndarray]" = []
+        for chain in chains:
+            prepared = self._prepare_trace(read, chain)
+            if prepared is None:
+                continue
+            begins.append(prepared[0])
+            windows.append(prepared[1])
+        if not windows:
+            return []
+        traced = self.tb_batch(read, windows, self.scheme, self.band,
+                               workspace=self._sw_workspace)
+        return [c for c in (self._finalize_trace(tr, ref_begin)
+                            for tr, ref_begin in zip(traced, begins))
+                if c is not None]

@@ -49,12 +49,13 @@ class SwWorkspace:
     unless a longer target arrives.
     """
 
-    __slots__ = ("_rows", "_cap", "_grid")
+    __slots__ = ("_rows", "_cap", "_grid", "_planes")
 
     def __init__(self) -> None:
         self._rows: "tuple[np.ndarray, ...] | None" = None
         self._cap = 0
         self._grid: "np.ndarray | None" = None
+        self._planes: "np.ndarray | None" = None
 
     def rows(self, n: int) -> "tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]":
         """Four int64 rows of length ``n + 1`` (contents unspecified --
@@ -74,6 +75,19 @@ class SwWorkspace:
         if self._grid is None or self._grid.size < need:
             self._grid = np.empty(max(need, 4096), dtype=np.int64)
         return self._grid[:need].reshape(planes, rows, cols)
+
+    def ptr_planes(self, b: int, rows: int, cols: int) \
+            -> "tuple[np.ndarray, np.ndarray, np.ndarray]":
+        """Traceback pointer planes for the batched traceback kernel:
+        one int8 ``(b, rows, cols)`` plane (H pointers) plus two bool
+        planes of the same shape (E/F gap-open flags), carved from one
+        persistent byte buffer (contents unspecified) and grown on
+        demand like :meth:`rows` / :meth:`grid`."""
+        need = 3 * b * rows * cols
+        if self._planes is None or self._planes.size < need:
+            self._planes = np.empty(max(need, 4096), dtype=np.int8)
+        block = self._planes[:need].reshape(3, b, rows, cols)
+        return block[0], block[1].view(np.bool_), block[2].view(np.bool_)
 
 
 @dataclass(frozen=True)

@@ -13,7 +13,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.extend.smith_waterman import NEG_INF, ScoringScheme
+from repro.extend.smith_waterman import NEG_INF, ScoringScheme, SwWorkspace
 
 # Traceback codes for the H matrix.
 _STOP, _DIAG, _FROM_E, _FROM_F = 0, 1, 2, 3
@@ -58,7 +58,9 @@ def _merge(ops: "list[tuple[str, int]]") -> "tuple[tuple[str, int], ...]":
 
 def banded_sw_traceback(query: np.ndarray, target: np.ndarray,
                         scheme: "ScoringScheme | None" = None,
-                        band: int = 41) -> TracedAlignment:
+                        band: int = 41,
+                        workspace: "SwWorkspace | None" = None
+                        ) -> TracedAlignment:
     """Local alignment with CIGAR, banded like the score-only kernel."""
     scheme = scheme or ScoringScheme()
     if band < 1:
@@ -67,13 +69,19 @@ def banded_sw_traceback(query: np.ndarray, target: np.ndarray,
     t = np.asarray(target, dtype=np.int16)
     m, n = q.size, t.size
     if m == 0 or n == 0:
-        return TracedAlignment(0, 0, 0, 0, 0,
-                               _merge([("S", m)]) if m else ())
+        # Same unaligned shape as the best == 0 path below: a full
+        # soft-clip, normalized through _merge (so m == 0 yields ()).
+        return TracedAlignment(0, 0, 0, 0, 0, _merge([("S", m)]))
     half = band // 2
     width = 2 * half + 2
 
-    h_prev = np.zeros(n + 1, dtype=np.int64)
-    e_prev = np.full(n + 1, NEG_INF, dtype=np.int64)
+    # Two rotating H/E row pairs from the caller's workspace; refilling
+    # them beats the fresh (n + 1) allocations the per-row loop used to
+    # make (the same ERT014 reuse rule the score-only kernel follows).
+    workspace = workspace or SwWorkspace()
+    h_prev, e_prev, h_cur, e_cur = workspace.rows(n)
+    h_prev[:] = 0
+    e_prev[:] = NEG_INF
     # Pointer matrices, band-relative: column j maps to j - (i - half).
     h_ptr = np.zeros((m + 1, width), dtype=np.int8)
     e_open = np.zeros((m + 1, width), dtype=bool)
@@ -138,21 +146,42 @@ def banded_sw_traceback(query: np.ndarray, target: np.ndarray,
                 best, best_i, best_j = h, i, lo + c
         f_open[i, r_lo:r_lo + span] = f_row
         h_ptr[i, r_lo:r_lo + span] = ptr_row
-        h_cur = np.zeros(n + 1, dtype=np.int64)
-        e_cur = np.full(n + 1, NEG_INF, dtype=np.int64)
         h_cur[lo:hi + 1] = h_row
         e_cur[lo:hi + 1] = e_row
-        h_prev, e_prev = h_cur, e_cur
+        # The next row reads at most one cell either side of this row's
+        # filled span (lo' - 1 >= lo - 1 for the diagonal term, hi' <=
+        # hi + 1 for E); pin those to the out-of-band boundary values so
+        # the reused buffers never leak a stale cell into the band.
+        h_cur[lo - 1] = 0
+        e_cur[lo - 1] = NEG_INF
+        if hi < n:
+            h_cur[hi + 1] = 0
+            e_cur[hi + 1] = NEG_INF
+        h_prev, h_cur = h_cur, h_prev
+        e_prev, e_cur = e_cur, e_prev
 
     if best == 0:
         return TracedAlignment(0, 0, 0, 0, 0, _merge([("S", m)]))
+    return walk_back(q, t, h_ptr, e_open, f_open, best, best_i, best_j,
+                     half, m)
 
-    # Walk back from the best cell.
+
+def walk_back(q: np.ndarray, t: np.ndarray, h_ptr: np.ndarray,
+              e_open: np.ndarray, f_open: np.ndarray, best: int,
+              best_i: int, best_j: int, half: int, m: int) \
+        -> TracedAlignment:
+    """Walk band-relative pointer planes back from the best cell.
+
+    Shared by the scalar kernel above and the batched wavefront kernel
+    (:func:`repro.kernels.traceback.batched_sw_traceback`), which fills
+    per-lane planes of the same layout -- sharing the walk is what makes
+    their CIGARs identical by construction.
+    """
     ops: "list[tuple[str, int]]" = []
     i, j = best_i, best_j
     state = "H"
     while i > 0 and j > 0:
-        r = rel(i, j)
+        r = j - (i - half)
         if state == "H":
             ptr = h_ptr[i][r]
             if ptr == _STOP:
@@ -169,12 +198,12 @@ def banded_sw_traceback(query: np.ndarray, target: np.ndarray,
             # E came from the previous row, same column: it consumed a
             # query base (an insertion relative to the reference).
             ops.append(("I", 1))
-            if e_open[i][rel(i, j)]:
+            if e_open[i][r]:
                 state = "H"
             i -= 1
         else:  # F: same row, previous column: consumed a target base.
             ops.append(("D", 1))
-            if f_open[i][rel(i, j)]:
+            if f_open[i][r]:
                 state = "H"
             j -= 1
 

@@ -13,6 +13,9 @@ batched multi-read traversal:
   batched walks; byte-identical seeds to the scalar oracle.
 * :mod:`repro.kernels.sw` -- anti-diagonal wavefront banded
   Smith-Waterman over a batch of extension windows.
+* :mod:`repro.kernels.traceback` -- the same wavefront sweep with
+  band-relative traceback pointer planes and a per-lane walk-back, so
+  the SAM paths (CIGAR production) batch too.
 
 The scalar path remains the oracle: the vector path is selected with
 ``REPRO_KERNELS=vector`` (CLI ``--kernels vector``) and must produce
@@ -27,6 +30,7 @@ import os
 from repro.kernels.flat import FlatTrees, flat_trees
 from repro.kernels.seeding import seed_batch, vector_ready
 from repro.kernels.sw import batched_banded_sw
+from repro.kernels.traceback import batched_sw_traceback
 
 KERNEL_CHOICES = ("scalar", "vector")
 
@@ -50,6 +54,7 @@ __all__ = [
     "seed_batch",
     "vector_ready",
     "batched_banded_sw",
+    "batched_sw_traceback",
     "KERNEL_CHOICES",
     "resolve_kernels",
 ]

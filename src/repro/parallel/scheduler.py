@@ -63,6 +63,7 @@ from repro.extend.pipeline import ReadAligner
 from repro.extend.sam import SamRecord
 from repro.kernels import (
     batched_banded_sw,
+    batched_sw_traceback,
     resolve_kernels,
     seed_batch,
     vector_ready,
@@ -283,7 +284,8 @@ class _AlignRunner:
         self.vector = options.get("kernels") == "vector"
         self.aligner = ReadAligner(
             reference, engine, params=options.get("params"),
-            sw_batch=batched_banded_sw if self.vector else None)
+            sw_batch=batched_banded_sw if self.vector else None,
+            tb_batch=batched_sw_traceback if self.vector else None)
 
     def __call__(self, batch: ReadBatch) -> "list[SamRecord]":
         reads = batch.reads()
@@ -312,6 +314,8 @@ class _AlignPairsRunner:
         self.paired = PairedAligner(
             ReadAligner(reference, engine, params=options.get("params"),
                         sw_batch=batched_banded_sw if self.vector
+                        else None,
+                        tb_batch=batched_sw_traceback if self.vector
                         else None),
             insert_mean=options["insert_mean"],
             insert_sd=options["insert_sd"])

@@ -21,8 +21,10 @@ from repro.extend.smith_waterman import (
     SwWorkspace,
     banded_smith_waterman,
 )
+from repro.extend.traceback import banded_sw_traceback
 from repro.kernels import (
     batched_banded_sw,
+    batched_sw_traceback,
     resolve_kernels,
     seed_batch,
     vector_ready,
@@ -264,6 +266,162 @@ def test_batched_sw_rejects_bad_band():
     with pytest.raises(ValueError):
         batched_banded_sw(np.zeros(4, dtype=np.uint8),
                           [np.zeros(4, dtype=np.uint8)], band=0)
+
+
+def test_batched_sw_equal_score_tie_positions():
+    """Periodic sequences make the maximum recur at the same score --
+    same end row, different end columns (and vice versa).  The scalar
+    rule is strict-improvement row-major first occurrence; the batched
+    cross-diagonal replacement must land on the same cell."""
+    rng = np.random.default_rng(4096)
+    period4 = np.tile(np.array([0, 1, 2, 3], dtype=np.uint8), 10)
+    for band in (3, 9, 41):
+        for m in (4, 8, 16):
+            queries = [period4[:m], np.zeros(m, dtype=np.uint8)]
+            targets = [period4[:4 * m], np.zeros(30, dtype=np.uint8),
+                       np.tile(period4[:m], 3),
+                       rng.integers(0, 4, size=2 * m + band)]
+            for query in queries:
+                _assert_sw_batch_matches(query, targets, DEFAULT_SCHEME,
+                                         band)
+
+
+# ----------------------------------------------------------------------
+# Batched wavefront traceback vs the scalar kernel
+# ----------------------------------------------------------------------
+
+
+def _assert_tb_batch_matches(query, targets, scheme, band, workspace=None):
+    # min_lanes=1 forces the wavefront path even for tiny batches, so
+    # these cases never silently test the scalar fallback against
+    # itself.  TracedAlignment equality covers score, all four
+    # coordinates, and the CIGAR tuple; the string is checked on top
+    # because it is what reaches the SAM records.
+    batched = batched_sw_traceback(query, targets, scheme, band,
+                                   workspace=workspace, min_lanes=1)
+    for target, got in zip(targets, batched):
+        want = banded_sw_traceback(query, target, scheme, band)
+        assert got == want
+        assert got.cigar_string() == want.cigar_string()
+
+
+def test_batched_traceback_fuzzed_geometries():
+    rng = np.random.default_rng(31337)
+    for band in (1, 3, 8, 41):
+        for m in (1, 7, 40, 101):
+            query = rng.integers(0, 4, size=m).astype(np.uint8)
+            planted = np.concatenate([
+                rng.integers(0, 4, size=11), query,
+                rng.integers(0, 4, size=11)]).astype(np.uint8)
+            noisy = planted.copy()
+            noisy[rng.integers(0, noisy.size, size=max(1, m // 8))] = \
+                rng.integers(0, 4, size=max(1, m // 8))
+            targets = [
+                rng.integers(0, 4, size=1).astype(np.uint8),
+                rng.integers(0, 4, size=max(1, band // 2)),  # n < band
+                rng.integers(0, 4, size=max(1, m // 2)),
+                rng.integers(0, 4, size=m + band),  # band off the end
+                planted,                            # perfect embedded
+                noisy,                              # band-edge errors
+            ]
+            _assert_tb_batch_matches(query, targets, DEFAULT_SCHEME, band)
+
+
+def test_batched_traceback_gap_heavy_and_unaligned():
+    """Indel-riddled targets (gap states dominate the walk-back) plus
+    all-mismatch lanes (the cached unaligned shape) in one batch."""
+    rng = np.random.default_rng(2718)
+    scheme = ScoringScheme(match=2, mismatch=-3, gap_open=-5,
+                           gap_extend=-2)
+    base = rng.integers(0, 4, size=60).astype(np.uint8)
+    with_del = np.concatenate([base[:20], base[32:]])  # 12-base deletion
+    with_ins = np.concatenate([base[:30],
+                               rng.integers(0, 4, size=9), base[30:]])
+    choppy = np.concatenate(
+        [base[:10], base[14:30], rng.integers(0, 4, size=4), base[30:50]])
+    all_mismatch = ((base + 1) % 4).astype(np.uint8)[::-1].copy()
+    targets = [with_del, with_ins, choppy, all_mismatch.astype(np.uint8)]
+    for band in (9, 31, 41):
+        for sch in (DEFAULT_SCHEME, scheme):
+            _assert_tb_batch_matches(base, targets, sch, band)
+
+
+def test_batched_traceback_homopolymer_ties():
+    """All-A vs all-A: every cell of every diagonal ties, so the
+    post-sweep argmax tie-break and the walk-back pointer priorities
+    are both pinned against the scalar oracle."""
+    query = np.zeros(12, dtype=np.uint8)
+    targets = [np.zeros(n, dtype=np.uint8) for n in (3, 12, 20, 40)]
+    for band in (1, 5, 41):
+        _assert_tb_batch_matches(query, targets, DEFAULT_SCHEME, band)
+
+
+def test_batched_traceback_empty_inputs_and_fallback():
+    empty_q = np.array([], dtype=np.uint8)
+    targets = [np.zeros(6, dtype=np.uint8), np.array([], dtype=np.uint8)]
+    assert batched_sw_traceback(empty_q, []) == []
+    # Empty query / all-empty targets take the scalar dispatch and must
+    # still match the oracle shape-for-shape.
+    for q in (empty_q, np.zeros(4, dtype=np.uint8)):
+        got = batched_sw_traceback(q, targets, min_lanes=1)
+        want = [banded_sw_traceback(q, t) for t in targets]
+        assert got == want
+    # Below the crossover the entry point dispatches scalar; results
+    # are identical either way.
+    q = np.zeros(4, dtype=np.uint8)
+    assert batched_sw_traceback(q, targets[:1]) \
+        == [banded_sw_traceback(q, targets[0])]
+
+
+def test_batched_traceback_reused_workspace():
+    """One workspace across batches of different shapes and bands: the
+    carved planes shrink, grow, and must never leak stale pointers."""
+    workspace = SwWorkspace()
+    rng = np.random.default_rng(55)
+    for band in (41, 3, 17):
+        m = int(rng.integers(5, 90))
+        query = rng.integers(0, 4, size=m).astype(np.uint8)
+        targets = [rng.integers(0, 4, size=int(rng.integers(1, 120)))
+                   .astype(np.uint8) for _ in range(5)]
+        targets.append(np.concatenate(
+            [targets[0][:3], query]).astype(np.uint8))
+        _assert_tb_batch_matches(query, targets, DEFAULT_SCHEME, band,
+                                 workspace=workspace)
+
+
+def test_batched_traceback_rejects_bad_band():
+    with pytest.raises(ValueError):
+        batched_sw_traceback(np.zeros(4, dtype=np.uint8),
+                             [np.zeros(4, dtype=np.uint8)], band=0)
+
+
+def test_read_aligner_tb_batch_matches_scalar(ert_index, reads, params):
+    """align_sam / align_sam_multi with the batched traceback injected
+    must emit the scalar records byte for byte."""
+    reference = ert_index.reference
+    scalar = ReadAligner(reference, ErtSeedingEngine(ert_index),
+                         params=params)
+    batched = ReadAligner(reference, ErtSeedingEngine(ert_index),
+                          params=params, tb_batch=batched_sw_traceback)
+    for read in reads:
+        assert batched.align_sam(read.codes, read.name, read.quality) \
+            == scalar.align_sam(read.codes, read.name, read.quality)
+        assert batched.align_sam_multi(read.codes, read.name,
+                                       read.quality) \
+            == scalar.align_sam_multi(read.codes, read.name, read.quality)
+
+
+def test_paired_aligner_tb_batch_matches_scalar(ert_index, reads, params):
+    reference = ert_index.reference
+    scalar = PairedAligner(ReadAligner(
+        reference, ErtSeedingEngine(ert_index), params=params))
+    batched = PairedAligner(ReadAligner(
+        reference, ErtSeedingEngine(ert_index), params=params,
+        tb_batch=batched_sw_traceback))
+    codes = [r.codes for r in reads[:8]]
+    for i in range(0, 8, 2):
+        assert batched.align_pair(codes[i], codes[i + 1], f"pair{i}") \
+            == scalar.align_pair(codes[i], codes[i + 1], f"pair{i}")
 
 
 # ----------------------------------------------------------------------

@@ -12,8 +12,12 @@ from repro.extend.sam import (
     sam_header,
     write_sam,
 )
-from repro.extend.smith_waterman import ScoringScheme, banded_smith_waterman
-from repro.extend.traceback import banded_sw_traceback
+from repro.extend.smith_waterman import (
+    ScoringScheme,
+    SwWorkspace,
+    banded_smith_waterman,
+)
+from repro.extend.traceback import TracedAlignment, banded_sw_traceback
 from repro.sequence.alphabet import encode
 
 seqs = st.text(alphabet="ACGT", min_size=1, max_size=35)
@@ -113,6 +117,44 @@ def test_cigar_is_internally_consistent(q, t):
 def test_band_validation():
     with pytest.raises(ValueError):
         tb("A", "A", band=0)
+
+
+def test_unaligned_return_shape_is_unified():
+    """The empty-input early returns and the best == 0 path agree: a
+    full soft-clip normalized through _merge, so an empty query yields
+    an empty CIGAR and an empty target yields one S run -- the same
+    shape a zero-scoring alignment of the same read produces."""
+    empty = np.array([], dtype=np.int16)
+    read = encode("ACGT")
+    nothing = TracedAlignment(0, 0, 0, 0, 0, ())
+    assert banded_sw_traceback(empty, read) == nothing
+    assert banded_sw_traceback(empty, empty) == nothing
+    assert banded_sw_traceback(read, empty) \
+        == TracedAlignment(0, 0, 0, 0, 0, (("S", 4),))
+    # A read that aligns nowhere scores 0 and must take the same shape.
+    assert banded_sw_traceback(encode("AAAA"), encode("TTTT")) \
+        == TracedAlignment(0, 0, 0, 0, 0, (("S", 4),))
+
+
+def test_workspace_reuse_is_byte_identical():
+    """One shared SwWorkspace across targets of many shapes (including
+    shrinking ones, which leave stale cells in the reused rows) must
+    reproduce the fresh-allocation results exactly."""
+    rng = np.random.default_rng(99)
+    shared = SwWorkspace()
+    cases = []
+    for n in (1, 64, 7, 33, 2, 150, 10):
+        q = rng.integers(0, 4, size=int(rng.integers(1, 80))) \
+            .astype(np.int16)
+        t = rng.integers(0, 4, size=n).astype(np.int16)
+        if n > 20:  # plant the query so real alignments occur too
+            t[:min(q.size, n)] = q[:min(q.size, n)]
+        cases.append((q, t))
+    for band in (1, 5, 41):
+        for q, t in cases:
+            want = banded_sw_traceback(q, t, band=band)
+            got = banded_sw_traceback(q, t, band=band, workspace=shared)
+            assert got == want
 
 
 def test_mapq_model():
