@@ -22,16 +22,33 @@ must stay under a 5 % slowdown against plain enabled mode, and
 recording under a 15 % slowdown against the no-telemetry baseline --
 in practice the marginal costs sit inside measurement jitter.  All
 five numbers land in ``benchmarks/results/telemetry_overhead.txt``.
+
+``test_vector_telemetry_overhead`` guards the vector kernels the same
+way: batch-flushed metrics (``KernelBatchStats``) and
+accumulator-derived exemplars must each stay within 5 % of a dark
+vector run.  The numbers are additionally appended to the
+``kernels_throughput`` run ledger as a floor manifest (dark throughput
+scaled by the budget) followed by an observed manifest, so
+``ert-repro ledger diff --benchmark kernels_throughput --threshold
+0.0`` fails in CI whenever observed vector throughput drops below
+95 % of dark -- the same invariant, re-checkable from the persisted
+manifests alone.
 """
 
 import time
+from pathlib import Path
 
 from conftest import record_result
 
 from repro import telemetry
 from repro.analysis import format_table
 from repro.core import ErtSeedingEngine
-from repro.parallel.scheduler import instrumented_seed_read
+from repro.kernels import seed_batch, vector_decline_reason
+from repro.ledger import append_record, build_record
+from repro.parallel.scheduler import (
+    instrumented_seed_batch,
+    instrumented_seed_read,
+)
 from repro.seeding.algorithm import (
     SeedingResult,
     generate_smems,
@@ -41,9 +58,15 @@ from repro.seeding.algorithm import (
 )
 from repro.seeding import seed_read
 
+LEDGER_PATH = Path(__file__).resolve().parent / "ledger.jsonl"
+LEDGER_BENCHMARK = "kernels_throughput"
+
 MAX_OVERHEAD = 0.03
 MAX_EXEMPLAR_OVERHEAD = 0.05
 MAX_RECORDING_OVERHEAD = 0.15
+#: Budget for a fully observed vector batch (metrics alone, and metrics
+#: plus exemplar derivation) against a dark vector batch.
+MAX_VECTOR_OVERHEAD = 0.05
 N_TRIALS = 7
 
 
@@ -137,3 +160,89 @@ def test_disabled_telemetry_overhead(ert_index, reads, params):
         f"timeline recording costs {recording_overhead * 100:.1f}% "
         f"(limit {MAX_RECORDING_OVERHEAD * 100:.0f}%): {recording:.4f}s "
         f"vs baseline {baseline:.4f}s")
+
+
+def test_vector_telemetry_overhead(ert_index, reads, params):
+    """Observed vector batches stay within 5 % of dark vector batches.
+
+    Three interleaved modes over the full 500-read workload, one
+    ``seed_batch`` sweep each: telemetry off (the accumulators still
+    run -- they are unconditional -- but the flush is a no-op), metrics
+    on (one registry flush per batch), and metrics plus the
+    accumulator-derived per-read exemplars (``--slowlog`` in vector
+    mode).  The results also land in the ``kernels_throughput`` ledger
+    so the CI diff gate re-checks the budget from the manifests.
+    """
+    engine = ErtSeedingEngine(ert_index)
+    assert vector_decline_reason(engine) is None
+    names = [f"r{i}" for i in range(len(reads))]
+
+    def run_batch(instrumented: bool) -> float:
+        engine.begin_batch(reads)
+        start = time.perf_counter()
+        if instrumented:
+            instrumented_seed_batch(engine, names, reads, params)
+        else:
+            seed_batch(engine, reads, params)
+        return time.perf_counter() - start
+
+    telemetry.disable()
+    telemetry.reset()
+    dark = metrics = exemplar = float("inf")
+    for _ in range(N_TRIALS):
+        telemetry.disable()
+        dark = min(dark, run_batch(instrumented=False))
+        telemetry.enable()
+        metrics = min(metrics, run_batch(instrumented=False))
+        exemplar = min(exemplar, run_batch(instrumented=True))
+        telemetry.disable()
+        telemetry.reset()
+    metrics_overhead = metrics / dark - 1.0
+    exemplar_overhead = exemplar / dark - 1.0
+
+    n = len(reads)
+    dark_rps = n / dark
+    table = format_table(
+        ["mode", f"best s / {n} reads", "reads/s", "vs dark"],
+        [["vector, dark", dark, dark_rps, "1.000x"],
+         ["vector + metrics", metrics, n / metrics,
+          f"{metrics / dark:.3f}x"],
+         ["vector + metrics + exemplars", exemplar, n / exemplar,
+          f"{exemplar / dark:.3f}x"]],
+        title=f"vector kernel telemetry overhead "
+              f"(best of {N_TRIALS} interleaved trials)")
+    record_result("vector_telemetry_overhead", table)
+
+    # Floor manifest first, observed manifest second: the ledger diff
+    # ("last two runs") then fails exactly when an observed mode drops
+    # below (1 - MAX_VECTOR_OVERHEAD) of dark throughput.
+    workload = {"reads": n, "read_length": int(reads[0].size),
+                "genome_length": len(ert_index.reference),
+                "k": ert_index.config.k}
+    floor_rps = dark_rps * (1.0 - MAX_VECTOR_OVERHEAD)
+    append_record(str(LEDGER_PATH), build_record(
+        LEDGER_BENCHMARK,
+        {"seeding.observed_metrics_reads_per_sec": floor_rps,
+         "seeding.observed_exemplars_reads_per_sec": floor_rps},
+        label="telemetry-vector-floor", workload=workload,
+        config={"kernels": "vector", "telemetry": "dark-floor",
+                "max_overhead": MAX_VECTOR_OVERHEAD}))
+    append_record(str(LEDGER_PATH), build_record(
+        LEDGER_BENCHMARK,
+        {"seeding.observed_metrics_reads_per_sec": n / metrics,
+         "seeding.observed_exemplars_reads_per_sec": n / exemplar,
+         "seeding.dark_reads_per_sec": dark_rps,
+         "vector_metrics_overhead": metrics_overhead,
+         "vector_exemplars_overhead": exemplar_overhead},
+        label="telemetry-vector-observed", workload=workload,
+        config={"kernels": "vector", "telemetry": "observed",
+                "max_overhead": MAX_VECTOR_OVERHEAD}))
+
+    assert metrics_overhead < MAX_VECTOR_OVERHEAD, (
+        f"vector batch metrics cost {metrics_overhead * 100:.1f}% "
+        f"(limit {MAX_VECTOR_OVERHEAD * 100:.0f}%): {metrics:.4f}s vs "
+        f"dark {dark:.4f}s")
+    assert exemplar_overhead < MAX_VECTOR_OVERHEAD, (
+        f"vector exemplar capture costs {exemplar_overhead * 100:.1f}% "
+        f"(limit {MAX_VECTOR_OVERHEAD * 100:.0f}%): {exemplar:.4f}s vs "
+        f"dark {dark:.4f}s")

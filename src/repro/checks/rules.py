@@ -428,6 +428,20 @@ class FootgunRule(Rule):
 # ----------------------------------------------------------------------
 
 
+def _telemetry_call_qual(src: SourceFile,
+                         node: ast.Call) -> "str | None":
+    """Resolved dotted name of ``node`` when it is a telemetry/metrics
+    call (the matcher ERT007 and ERT017 share), else ``None``."""
+    qual = src.qualified_name(node.func)
+    if qual is None:
+        return None
+    root = qual.split(".", 1)[0]
+    if qual.startswith("repro.telemetry.") or root in ("telemetry",
+                                                       "metrics"):
+        return qual
+    return None
+
+
 @register
 class HotLoopTelemetryRule(Rule):
     """ERT007: hot functions batch counters; they never call telemetry.
@@ -457,18 +471,15 @@ class HotLoopTelemetryRule(Rule):
         for node in ast.walk(func):
             if not isinstance(node, ast.Call):
                 continue
-            qual = src.qualified_name(node.func)
+            qual = _telemetry_call_qual(src, node)
             if qual is None:
                 continue
-            root = qual.split(".", 1)[0]
-            if (qual.startswith("repro.telemetry.")
-                    or root in ("telemetry", "metrics")):
-                name = getattr(func, "name", "<function>")
-                yield src.violation(
-                    self.id, node,
-                    f"{qual}() called inside hot function {name}(); "
-                    f"count into a stats struct and flush the delta at a "
-                    f"span boundary instead (docs/observability.md)")
+            name = getattr(func, "name", "<function>")
+            yield src.violation(
+                self.id, node,
+                f"{qual}() called inside hot function {name}(); "
+                f"count into a stats struct and flush the delta at a "
+                f"span boundary instead (docs/observability.md)")
 
 
 # ----------------------------------------------------------------------
@@ -712,6 +723,67 @@ class StdlibLoggingRule(Rule):
                     f"(docs/observability.md)")
 
 
+# ----------------------------------------------------------------------
+# ERT017 -- per-element telemetry in the vector kernels
+# ----------------------------------------------------------------------
+
+#: Lexical contexts that execute their body once per element.
+_LOOP_NODES = (ast.For, ast.AsyncFor, ast.While, ast.ListComp,
+               ast.SetComp, ast.DictComp, ast.GeneratorExp)
+
+
+@register
+class KernelLoopTelemetryRule(Rule):
+    """ERT017: the vector kernels flush telemetry per batch, never per
+    element.
+
+    ERT007 polices functions annotated ``# repro: hot``; the batched
+    kernels in :mod:`repro.kernels` are hot by construction -- every
+    loop there sweeps lanes, wave rounds, gathers, or traceback rows,
+    so a telemetry call lexically inside *any* of their loops is a
+    per-element call regardless of annotation.  The kernels count work
+    into :class:`repro.kernels.stats.KernelBatchStats` (plain ndarray
+    adds, unconditional) and flush the registry once per batch under
+    the ``kernels.batch`` span; registry traffic at loop granularity
+    would reintroduce exactly the overhead that batch-flush design
+    exists to avoid -- and break the <5% vector-telemetry overhead
+    budget ``benchmarks/bench_telemetry_overhead.py`` enforces.
+    """
+
+    id = "ERT017"
+    title = "telemetry call inside a repro.kernels loop"
+    rationale = ("kernel sweeps accumulate into KernelBatchStats and "
+                 "flush once per batch (docs/observability.md); "
+                 "per-element registry calls undo the batch-flush "
+                 "design")
+    scope = ("repro.kernels",)
+
+    def check(self, src: SourceFile) -> "Iterator[Violation]":
+        for node in src.walk():
+            if not isinstance(node, ast.Call):
+                continue
+            qual = _telemetry_call_qual(src, node)
+            if qual is None:
+                continue
+            if self._enclosing_loop(src, node) is None:
+                continue
+            yield src.violation(
+                self.id, node,
+                f"{qual}() called inside a kernel loop; accumulate "
+                f"into KernelBatchStats and flush once per batch "
+                f"instead (docs/observability.md)")
+
+    @staticmethod
+    def _enclosing_loop(src: SourceFile,
+                        node: ast.AST) -> "ast.AST | None":
+        cursor = src.parent(node)
+        while cursor is not None:
+            if isinstance(cursor, _LOOP_NODES):
+                return cursor
+            cursor = src.parent(cursor)
+        return None
+
+
 __all__ = [
     "DirectOutputRule",
     "FootgunRule",
@@ -719,6 +791,7 @@ __all__ = [
     "IdAsKeyRule",
     "ImportLayeringRule",
     "IntegerAccountingRule",
+    "KernelLoopTelemetryRule",
     "RawClockRule",
     "StdlibLoggingRule",
     "SwallowedPoolFailureRule",

@@ -68,7 +68,7 @@ from repro.core import (
     save_ert,
 )
 from repro.extend import write_sam
-from repro.kernels import KERNEL_CHOICES
+from repro.kernels import KERNEL_CHOICES, resolve_kernels
 from repro.parallel import (
     ParallelConfig,
     align_pairs,
@@ -174,6 +174,12 @@ def build_parser() -> argparse.ArgumentParser:
                               "exemplar tables")
     explain.add_argument("--task", choices=("seed", "align"),
                          default="seed")
+    explain.add_argument("--kernels", choices=("scalar", "vector"),
+                         default=None,
+                         help="replay through the scalar engine or the "
+                              "batched vector kernels; defaults to "
+                              "whatever the slowlog record says the run "
+                              "used (else scalar)")
     explain.add_argument("--min-seed-len", type=int, default=19)
     explain.add_argument("--max-hits", type=int, default=500)
     explain.add_argument(
@@ -587,12 +593,26 @@ def _cmd_report(args) -> int:
     return 0
 
 
-def _explain_replay(args, read) -> "dict | None":
-    """Replay ``read`` through the serial engine exactly as the batch
-    scheduler would run it and return the captured exemplar record."""
+def _explain_replay(args, read, kernels: str = "scalar") -> "dict | None":
+    """Replay ``read`` through the engine exactly as the batch scheduler
+    would run it and return the captured exemplar record.
+
+    ``kernels="vector"`` drives the batched kernels at batch size 1; the
+    per-read kernel counters are batch-composition invariant, so the
+    replayed record matches what a full vector batch recorded for this
+    read field-for-field.
+    """
     from repro.extend.pipeline import ReadAligner
+    from repro.kernels import (
+        KernelBatchStats,
+        batched_banded_sw,
+        batched_sw_traceback,
+        seed_batch,
+        vector_decline_reason,
+    )
     from repro.parallel.scheduler import (
         instrumented_align_sam,
+        instrumented_seed_batch,
         instrumented_seed_read,
     )
 
@@ -600,6 +620,12 @@ def _explain_replay(args, read) -> "dict | None":
     # gather_limit=500 and the per-seed hit cap rides in SeedingParams.
     engine = ErtSeedingEngine(load_index_cached(args.index),
                               gather_limit=500)
+    if kernels == "vector":
+        reason = vector_decline_reason(engine)
+        if reason is not None:
+            print(f"vector replay unavailable ({reason}); "
+                  f"falling back to scalar", file=sys.stderr)
+            kernels = "scalar"
     telemetry.reset()
     telemetry.enable()
     try:
@@ -608,13 +634,39 @@ def _explain_replay(args, read) -> "dict | None":
         if args.task == "seed":
             params = SeedingParams(min_seed_len=args.min_seed_len,
                                    max_hits_per_seed=args.max_hits)
-            instrumented_seed_read(engine, read.name, read.codes, params)
+            if kernels == "vector":
+                instrumented_seed_batch(engine, [read.name],
+                                        [read.codes], params)
+            else:
+                instrumented_seed_read(engine, read.name, read.codes,
+                                       params)
         else:
             params = SeedingParams(min_seed_len=args.min_seed_len)
+            vec = kernels == "vector"
             aligner = ReadAligner(engine.index.reference, engine,
-                                  params=params)
-            instrumented_align_sam(aligner, read.codes, read.name,
-                                   read.quality)
+                                  params=params,
+                                  sw_batch=batched_banded_sw if vec
+                                  else None,
+                                  tb_batch=batched_sw_traceback if vec
+                                  else None)
+            if vec:
+                # One-read replica of the scheduler's vector align
+                # batch: batched seeding under a probe, then the
+                # instrumented extension with the read's seed counters
+                # and wall share folded in.
+                probe = telemetry.read_probe()
+                stats = KernelBatchStats(1)
+                seeded = seed_batch(engine, [read.codes], params,
+                                    stats=stats)
+                shares = stats.wall_shares(telemetry.probe_ms(probe))
+                instrumented_align_sam(
+                    aligner, read.codes, read.name, read.quality,
+                    seeding=seeded[0],
+                    seed_counters=stats.read_counters(0),
+                    seed_ms=float(shares[0]))
+            else:
+                instrumented_align_sam(aligner, read.codes, read.name,
+                                       read.quality)
         snap = telemetry.snapshot()
     finally:
         telemetry.disable()
@@ -642,7 +694,17 @@ def _cmd_explain(args) -> int:
         print(f"read {args.read_id!r} not found in {args.reads}",
               file=sys.stderr)
         return 2
-    rec = _explain_replay(args, reads[0])
+    # Peek at the slowlog record first: when the run used the vector
+    # kernels the record says so, and the replay must go through the
+    # same path for the counters to be comparable.  Without a slowlog
+    # to consult, fall back to the usual $REPRO_KERNELS resolution so
+    # an explain run in a vector environment replays vector.
+    recorded = (_load_slowlog_entry(args.slowlog, args.read_id,
+                                    args.task)
+                if args.slowlog else None)
+    kernels = (args.kernels or (recorded or {}).get("kernels")
+               or resolve_kernels())
+    rec = _explain_replay(args, reads[0], kernels=kernels)
     if rec is None:
         print("replay recorded no exemplar (telemetry disabled?)",
               file=sys.stderr)
@@ -651,7 +713,8 @@ def _cmd_explain(args) -> int:
         print(json.dumps(rec, sort_keys=True))
     else:
         counters = rec.get("counters", {})
-        print(f"read {rec['read_id']} ({rec['task']}): "
+        mode = rec.get("kernels", "scalar")
+        print(f"read {rec['read_id']} ({rec['task']}, {mode} kernels): "
               f"{rec['wall_ms']:.3f} ms replayed wall time")
         width = max([len(k) for k in counters] or [7])
         for name, value in sorted(counters.items(),
@@ -659,8 +722,6 @@ def _cmd_explain(args) -> int:
             print(f"  {name.ljust(width)}  {value:,}")
     if not args.slowlog:
         return 0
-    recorded = _load_slowlog_entry(args.slowlog, args.read_id,
-                                   rec["task"])
     if recorded is None:
         print(f"no {rec['task']} entry for {args.read_id!r} in "
               f"{args.slowlog}", file=sys.stderr)

@@ -16,6 +16,10 @@ batched multi-read traversal:
 * :mod:`repro.kernels.traceback` -- the same wavefront sweep with
   band-relative traceback pointer planes and a per-lane walk-back, so
   the SAM paths (CIGAR production) batch too.
+* :mod:`repro.kernels.stats` -- batch-granularity accumulators: the
+  sweeps count into plain ndarrays and flush the metrics registry once
+  per batch, so vector mode runs fully observed with the hot loops
+  telemetry-call-free (ERT007/ERT017).
 
 The scalar path remains the oracle: the vector path is selected with
 ``REPRO_KERNELS=vector`` (CLI ``--kernels vector``) and must produce
@@ -28,7 +32,12 @@ from __future__ import annotations
 import os
 
 from repro.kernels.flat import FlatTrees, flat_trees
-from repro.kernels.seeding import seed_batch, vector_ready
+from repro.kernels.seeding import (
+    seed_batch,
+    vector_decline_reason,
+    vector_ready,
+)
+from repro.kernels.stats import KernelBatchStats
 from repro.kernels.sw import batched_banded_sw
 from repro.kernels.traceback import batched_sw_traceback
 
@@ -50,8 +59,10 @@ def resolve_kernels(value: "str | None" = None) -> str:
 
 __all__ = [
     "FlatTrees",
+    "KernelBatchStats",
     "flat_trees",
     "seed_batch",
+    "vector_decline_reason",
     "vector_ready",
     "batched_banded_sw",
     "batched_sw_traceback",

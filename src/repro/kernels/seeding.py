@@ -17,15 +17,21 @@ output-invariant:
   cursor's gather would produce, and ``locate()`` falls back to the
   scalar walk for exactly the same keys in both paths.
 * Engine *work counters* (nodes visited, leaf fetches) are not
-  replicated -- the vector path is only selected when telemetry and
-  memory tracing are off, so nothing observes them.  Emitted seeds,
-  counts, hits and the ``truncated_hit_lists`` counter (the only stat
-  surfaced in CLI summaries) are identical.
+  replicated -- the vector path reports its own traffic instead:
+  per-lane walk steps, gather nodes/bytes and launch counts accumulate
+  in a :class:`~repro.kernels.stats.KernelBatchStats` during the sweep
+  and flush into the metrics registry once per batch under a single
+  ``kernels.batch`` span (so telemetry no longer forces scalar mode,
+  and the hot loops stay telemetry-call-free per ERT007/ERT017).
+  Emitted seeds, counts, hits and the ``truncated_hit_lists`` counter
+  (the only stat surfaced in CLI summaries) are identical.
 
-When the engine is not eligible (non-ERT engine, attached tracer or
-reuse cache, telemetry/exemplar capture active), :func:`seed_batch`
-falls back to the scalar per-read loop, so callers can use it
-unconditionally.
+When the engine is not eligible (non-ERT engine, attached memory
+tracer, attached reuse cache), :func:`seed_batch` counts a
+``kernels.fallback_scalar.<reason>`` and falls back to the scalar
+per-read loop, so callers can use it unconditionally.  Telemetry and
+exemplar capture do *not* decline the vector path: observed vector
+runs are byte-identical to dark ones.
 """
 
 from __future__ import annotations
@@ -42,6 +48,7 @@ from repro.kernels.flat import (
     FlatTrees,
     flat_trees,
 )
+from repro.kernels.stats import KernelBatchStats
 from repro.kernels.walk import Lanes, drain, step
 from repro.seeding.algorithm import (
     SeedingParams,
@@ -54,34 +61,53 @@ from repro.seeding.types import Mem, SeedingResult
 from repro.sequence.alphabet import COMPLEMENT
 
 
+def vector_decline_reason(engine: "object") -> "str | None":
+    """Why this engine cannot take the batched kernels, or ``None``
+    when it can.
+
+    The reason string doubles as the ``kernels.fallback_scalar.<reason>``
+    counter label: ``engine`` (not an ERT engine), ``tracer`` (memsim
+    tracer attached -- per-access tracing needs the scalar cursor) or
+    ``reuse_cache`` (the reuse-distance probe, same constraint).
+    Telemetry and exemplar capture are deliberately *not* reasons: the
+    vector path runs fully observed via batch-flushed accumulators.
+    """
+    if not isinstance(engine, ErtSeedingEngine):
+        return "engine"
+    index = engine.index
+    if index.tracer is not None:
+        return "tracer"
+    if index.reuse_cache is not None:
+        return "reuse_cache"
+    return None
+
+
 def vector_ready(engine: "object") -> bool:
     """Can this engine's seeding run through the batched kernels with
     output identical to the scalar oracle?"""
-    if not isinstance(engine, ErtSeedingEngine):
-        return False
-    index = engine.index
-    if index.tracer is not None or index.reuse_cache is not None:
-        return False
-    # Per-read telemetry (spans, exemplar probes) needs the scalar
-    # per-read loop; aggregate counters would drift too.
-    if telemetry.enabled() or telemetry.read_probe() is not None:
-        return False
-    return True
+    return vector_decline_reason(engine) is None
 
 
 class _WalkOut:
     """Batched :meth:`ErtSeedingEngine._walk` results (one row per job)."""
 
-    __slots__ = ("ends_rel", "leps", "entered", "nid", "count")
+    __slots__ = ("ends_rel", "leps", "entered", "nid", "count", "steps",
+                 "occ_live", "occ_slots")
 
     def __init__(self, ends_rel: np.ndarray, leps: "list[list[int]] | None",
                  entered: np.ndarray, nid: np.ndarray,
-                 count: np.ndarray) -> None:
+                 count: np.ndarray, steps: np.ndarray,
+                 occ_live: int, occ_slots: int) -> None:
         self.ends_rel = ends_rel
         self.leps = leps
         self.entered = entered
         self.nid = nid
         self.count = count
+        #: Characters consumed by walk advances, per job (plain
+        #: accumulators the batch driver attributes back to reads).
+        self.steps = steps
+        self.occ_live = occ_live
+        self.occ_slots = occ_slots
 
 
 def _resolve_codes(flat: FlatTrees, seq: np.ndarray, starts: np.ndarray,
@@ -232,16 +258,24 @@ def _walk_jobs(engine: ErtSeedingEngine, flat: FlatTrees, seq: np.ndarray,
             if end_rel > start_rel and (not out or out[-1] != end_rel):
                 out.append(end_rel)
             leps.append(out)
-    return _WalkOut(ends_rel, leps, entered, lanes.nid, lanes.count)
+    return _WalkOut(ends_rel, leps, entered, lanes.nid, lanes.count,
+                    lanes.steps, lanes.occ_live, lanes.occ_slots)
 
 
 def _cache_backward(engine: ErtSeedingEngine, flat: FlatTrees, key: int,
-                    s: int, end: int, nid: int, count: int) -> None:
+                    s: int, end: int, nid: int, count: int,
+                    stats: KernelBatchStats, read: int) -> None:
     """Preseed the engine's hit cache exactly like
-    ``_cache_hits_from_rev_cursor`` (rc positions mapped to forward)."""
+    ``_cache_hits_from_rev_cursor`` (rc positions mapped to forward).
+
+    ``stats``/``read`` account the gather's Euler-pool traffic (nodes
+    and bytes) to the read that caused it -- plain array adds, flushed
+    once per batch."""
     if count > engine.gather_limit:
         engine._hits[(key, s, end)] = (count, ())
         return
+    stats.gather_nodes[read] += 1
+    stats.gather_bytes[read] += int(flat.pos_len[nid]) * flat.pool.itemsize
     two_n = int(engine.index.text.size)
     length = end - s
     pos = flat.gather(nid)
@@ -250,26 +284,55 @@ def _cache_backward(engine: ErtSeedingEngine, flat: FlatTrees, key: int,
 
 
 def _cache_forward(engine: ErtSeedingEngine, flat: FlatTrees, key: int,
-                   start: int, end: int, nid: int, count: int) -> None:
+                   start: int, end: int, nid: int, count: int,
+                   stats: KernelBatchStats, read: int) -> None:
     """Preseed like ``_cache_from_forward_cursor`` (LAST emissions)."""
     if count > engine.gather_limit:
         engine._hits[(key, start, end)] = (count, ())
         return
+    stats.gather_nodes[read] += 1
+    stats.gather_bytes[read] += int(flat.pos_len[nid]) * flat.pool.itemsize
     engine._hits[(key, start, end)] = (count,
                                        tuple(flat.gather(nid).tolist()))
 
 
 def seed_batch(engine: "ErtSeedingEngine", reads: "list[np.ndarray]",
-               params: "SeedingParams | None" = None
+               params: "SeedingParams | None" = None,
+               stats: "KernelBatchStats | None" = None
                ) -> "list[SeedingResult]":
     """All three seeding rounds for a whole batch of reads; returns one
-    :class:`SeedingResult` per read, byte-identical to the scalar loop."""
+    :class:`SeedingResult` per read, byte-identical to the scalar loop.
+
+    Runs fully observed: per-lane accumulators collect walk steps,
+    gather traffic and launch counts during the sweep and flush into
+    the metrics registry once, under a single ``kernels.batch`` span.
+    The span nests inside a root ``seed`` span for scalar parity --
+    the ledger's derived ``seeding.reads_per_sec`` reads the ``seed``
+    root total, so vector snapshots feed the same throughput gates.
+    Pass ``stats`` to keep the accumulators afterwards (the scheduler
+    derives per-read exemplar counters from them); the flush happens
+    here either way, exactly once.
+    """
     params = params or SeedingParams()
     reads = list(reads)
     if not reads:
         return []
-    if not vector_ready(engine):
+    reason = vector_decline_reason(engine)
+    if reason is not None:
+        telemetry.count("kernels.fallback_scalar." + reason)
         return [seed_read(engine, read, params) for read in reads]
+    if stats is None:
+        stats = KernelBatchStats(len(reads))
+    before = engine.stats.as_dict()
+    with telemetry.span("seed"), telemetry.span("kernels.batch"):
+        results = _seed_batch_vector(engine, reads, params, stats)
+    stats.flush(before, engine.stats.as_dict(), results)
+    return results
+
+
+def _seed_batch_vector(engine: "ErtSeedingEngine",
+                       reads: "list[np.ndarray]", params: SeedingParams,
+                       stats: KernelBatchStats) -> "list[SeedingResult]":
     index = engine.index
     flat = flat_trees(index)
     k = index.config.k
@@ -278,6 +341,7 @@ def seed_batch(engine: "ErtSeedingEngine", reads: "list[np.ndarray]",
     min_len_req = max(params.min_seed_len, engine.min_query_len)
     sizes = np.array([int(r.size) for r in reads], dtype=np.int64)
     active = [i for i in range(n_reads) if sizes[i] >= min_len_req]
+    stats.short_reads = n_reads - len(active)
     if not active:
         return results
     for i in active:
@@ -305,6 +369,7 @@ def seed_batch(engine: "ErtSeedingEngine", reads: "list[np.ndarray]",
                          offs[ids], np.ones(len(wave), dtype=np.int64),
                          collect_leps=True)
         engine.stats.forward_searches += len(wave)
+        stats.absorb_walk(ids, out)
         nxt_wave = []
         for row, i in enumerate(wave):
             piv = pivots[i]
@@ -344,6 +409,7 @@ def seed_batch(engine: "ErtSeedingEngine", reads: "list[np.ndarray]",
                          bases, np.ones(ids.size, dtype=np.int64),
                          collect_leps=False)
         engine.stats.backward_searches += ids.size
+        stats.absorb_walk(ids, out)
         # s = p - length = size - ends_rel (ends are rc-relative).
         s_arr = sizes[ids] - out.ends_rel
         entered, nid, count = out.entered, out.nid, out.count
@@ -364,7 +430,8 @@ def seed_batch(engine: "ErtSeedingEngine", reads: "list[np.ndarray]",
                 r = row_of[(mem.start, mem.end)]
                 if entered[r]:
                     _cache_backward(engine, flat, keys[i], mem.start,
-                                    mem.end, int(nid[r]), int(count[r]))
+                                    mem.end, int(nid[r]), int(count[r]),
+                                    stats, i)
         results[i].smems = smems_to_seeds(engine, reads[i], kept, params)
 
     # ---- Round 2: reseeding ------------------------------------------
@@ -387,6 +454,8 @@ def seed_batch(engine: "ErtSeedingEngine", reads: "list[np.ndarray]",
                             offs[ids + 1], offs[ids], mhs,
                             collect_leps=True)
             engine.stats.forward_searches += ids.size
+            stats.absorb_walk(ids, fo)
+            np.add.at(stats.reseed_launches, ids, 1)
             brow: "list[int]" = []
             bps: "list[int]" = []
             for row in range(ids.size):
@@ -406,6 +475,7 @@ def seed_batch(engine: "ErtSeedingEngine", reads: "list[np.ndarray]",
                                 bases + sizes[rids], bases, mhs[rows],
                                 collect_leps=False)
                 engine.stats.backward_searches += rows.size
+                stats.absorb_walk(rids, bo)
                 bs = sizes[rids] - bo.ends_rel
                 for e in range(rows.size):
                     s, p = int(bs[e]), bps[e]
@@ -423,7 +493,8 @@ def seed_batch(engine: "ErtSeedingEngine", reads: "list[np.ndarray]",
                     e = found[row][(s, p)]
                     if bo.entered[e]:
                         _cache_backward(engine, flat, keys[i], s, p,
-                                        int(bo.nid[e]), int(bo.count[e]))
+                                        int(bo.nid[e]), int(bo.count[e]),
+                                        stats, i)
                     results[i].reseed_seeds.append(
                         _make_seed(engine, reads[i], Mem(s, p), params))
 
@@ -485,7 +556,7 @@ def seed_batch(engine: "ErtSeedingEngine", reads: "list[np.ndarray]",
                 _cache_forward(engine, flat, keys[i],
                                int(launch_x[row]), end_rel,
                                int(lanes.nid[row]),
-                               int(lanes.count[row]))
+                               int(lanes.count[row]), stats, i)
                 results[i].last_seeds.append(
                     _make_seed(engine, reads[i],
                                Mem(int(launch_x[row]), end_rel), params))
@@ -509,6 +580,7 @@ def seed_batch(engine: "ErtSeedingEngine", reads: "list[np.ndarray]",
                 x = v[p]
                 lx[row] = x
                 launch_x[row] = x
+                stats.last_launches[rows3[row]] += 1
                 start_abs[row] = int(r_off[row]) + x
                 lanes.nid[row] = vroot[row][p]
                 lanes.within[row] = 0
@@ -554,6 +626,7 @@ def seed_batch(engine: "ErtSeedingEngine", reads: "list[np.ndarray]",
                         lanes.count[row] = int(flat.count[ch])
                         lanes.depth[row] += 1
                         lanes.cur[row] = cur + 1
+                        lanes.steps[row] += 1
                         continue
                     rem = stop - cur
                     if kind == KIND_LEAF:
@@ -576,6 +649,7 @@ def seed_batch(engine: "ErtSeedingEngine", reads: "list[np.ndarray]",
                     lanes.within[row] += run
                     lanes.depth[row] += run
                     lanes.cur[row] = cur + run
+                    lanes.steps[row] += run
                     if kind == KIND_UNIFORM and run == urem:
                         lanes.nid[row] = int(flat.child[nid])
                         lanes.within[row] = 0
@@ -614,9 +688,13 @@ def seed_batch(engine: "ErtSeedingEngine", reads: "list[np.ndarray]",
                 idx = idx[~at_end]
                 if not idx.size:
                     continue
+                stats.occ_live += int(idx.size)
+                stats.occ_slots += A
+                stats.wave_rounds += 1
                 adv, ok, _changed, is_run = step(flat, text, fwd,
                                                  lanes, idx)
                 lanes.cur[idx] += adv
+                lanes.steps[idx] += adv
                 # Mid-run crossing of min_len: the hit count is constant
                 # inside a LEAF/UNIFORM run, so if the run survived past
                 # min_len with count < max_intv the scalar loop's
@@ -636,4 +714,5 @@ def seed_batch(engine: "ErtSeedingEngine", reads: "list[np.ndarray]",
                 dead = ~ok & ~cross
                 lx[idx[dead]] += 1
                 mode[idx[dead]] = 0
+            np.add.at(stats.walk_steps, r_ids, lanes.steps)
     return results

@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import telemetry
 from repro.extend.smith_waterman import (
     DEFAULT_SCHEME,
     NEG_INF,
@@ -42,6 +43,7 @@ from repro.extend.smith_waterman import (
     ScoringScheme,
     SwWorkspace,
 )
+from repro.telemetry.metrics import FRACTION_EDGES
 
 
 def batched_banded_sw(query: np.ndarray, targets: "list[np.ndarray]",
@@ -81,6 +83,15 @@ def batched_banded_sw(query: np.ndarray, targets: "list[np.ndarray]",
         rows = np.arange(1, min(m, nb + half) + 1, dtype=np.int64)
         cells[b] = int(np.sum(np.minimum(nb, rows + half)
                               - np.maximum(1, rows - half) + 1))
+
+    # One batch-granularity observation (a no-op while telemetry is
+    # off): how full the wavefront plane is, i.e. real DP cells over
+    # the (B, widest-lane) rectangle the sweep pays for.
+    max_cells = int(cells.max())
+    if max_cells > 0:
+        telemetry.observe("kernels.wavefront_fill",
+                          float(cells.sum()) / (B * max_cells),
+                          edges=FRACTION_EDGES)
 
     # Targets padded with a sentinel that can never equal a base code.
     tpad = np.full((B, n_max), 127, dtype=np.int64)

@@ -51,6 +51,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import telemetry
+from repro.telemetry.metrics import FRACTION_EDGES
 from repro.extend.smith_waterman import (
     DEFAULT_SCHEME,
     NEG_INF,
@@ -101,8 +103,18 @@ def batched_sw_traceback(query: np.ndarray, targets: "list[np.ndarray]",
                      dtype=np.int64)
     n_max = int(n_arr.max())
     if B < floor or m == 0 or n_max == 0:
+        # Batch-granularity bookkeeping only (no-ops while telemetry is
+        # off): which batches the wavefront declined, and why.
+        telemetry.count("kernels.sw_scalar_batches")
+        if B < floor:
+            telemetry.count("kernels.fallback_scalar.lanes")
         return [banded_sw_traceback(query, t, scheme, band,
                                     workspace=workspace) for t in targets]
+    # Plane-fill fraction of this dispatch: real target columns over
+    # the (B, widest-lane) rectangle the rotating planes pay for.
+    telemetry.observe("kernels.wavefront_fill",
+                      float(n_arr.sum()) / (B * n_max),
+                      edges=FRACTION_EDGES)
     half = band // 2
     width = 2 * half + 2
 

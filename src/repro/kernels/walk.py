@@ -35,7 +35,7 @@ class Lanes:
     """Structure-of-arrays walk state for a batch of lanes."""
 
     __slots__ = ("nid", "within", "depth", "count", "min_hits",
-                 "cur", "stop", "alive")
+                 "cur", "stop", "alive", "steps", "occ_live", "occ_slots")
 
     def __init__(self, n: int) -> None:
         self.nid = np.zeros(n, dtype=np.int64)
@@ -47,6 +47,15 @@ class Lanes:
         self.cur = np.zeros(n, dtype=np.int64)
         self.stop = np.zeros(n, dtype=np.int64)
         self.alive = np.zeros(n, dtype=bool)
+        #: Characters consumed by walk advances, per lane.  Plain
+        #: accumulators, never telemetry calls (ERT007/ERT017): the
+        #: batch driver folds them into its KernelBatchStats and
+        #: flushes once per batch.
+        self.steps = np.zeros(n, dtype=np.int64)
+        #: Occupancy accumulators: live lanes stepped / lane slots
+        #: allocated, summed per walk round by :func:`drain`.
+        self.occ_live = 0
+        self.occ_slots = 0
 
 
 def _run_lengths(eq: np.ndarray) -> np.ndarray:
@@ -233,12 +242,15 @@ def drain(flat: FlatTrees, text: np.ndarray, seq: np.ndarray,
         idx = np.nonzero(alive)[0]
         if idx.size == 0:
             break
+        lanes.occ_live += int(idx.size)
+        lanes.occ_slots += int(alive.size)
         adv, ok, changed, _is_run = step(flat, text, seq, lanes, idx)
         if record_leps and changed.any():
             hit = idx[changed]
             lep_lane_parts.append(hit)
             lep_pos_parts.append(lanes.cur[hit].copy())
         lanes.cur[idx] += adv
+        lanes.steps[idx] += adv
         alive[idx[~ok]] = False
         still = idx[ok]
         alive[still[lanes.cur[still] >= lanes.stop[still]]] = False

@@ -62,11 +62,12 @@ from repro.extend.paired import PairedAligner
 from repro.extend.pipeline import ReadAligner
 from repro.extend.sam import SamRecord
 from repro.kernels import (
+    KernelBatchStats,
     batched_banded_sw,
     batched_sw_traceback,
     resolve_kernels,
     seed_batch,
-    vector_ready,
+    vector_decline_reason,
 )
 from repro.memsim.trace import MemoryTracer
 from repro.parallel.batch import ReadBatch, iter_chunks, pack_batch
@@ -204,35 +205,102 @@ def instrumented_seed_read(engine: SeedingEngine, name: str, read: Any,
     return result
 
 
-def instrumented_align_sam(aligner: ReadAligner, read: Any, name: str,
-                           quality: str) -> SamRecord:
-    """``ReadAligner.align_sam`` plus per-read exemplar capture (engine
-    deltas + the aligner's per-read extension stats: SW cells, seeds,
-    chains)."""
+def instrumented_seed_batch(engine: SeedingEngine,
+                            names: "Sequence[str]",
+                            reads: "Sequence[Any]",
+                            params: SeedingParams) -> "list[Any]":
+    """``seed_batch`` plus per-read exemplar capture derived from the
+    batch accumulators.
+
+    The vector sweep cannot probe per read (its hot loops are
+    telemetry-call-free by construction), so capture works the other way
+    around: one wall-clock probe brackets the whole batch, the kernels
+    count per-read work into a :class:`~repro.kernels.stats.
+    KernelBatchStats`, and afterwards each read gets an exemplar whose
+    counters are its accumulator column and whose wall time is its
+    work-weighted share of the batch.  Offers happen in input order, so
+    the reservoir/slowlog are reproducible at any worker count, same as
+    the scalar path.  Callers must have checked
+    :func:`~repro.kernels.seeding.vector_decline_reason` first.
+    """
     probe = telemetry.read_probe()
     if probe is None:
-        return aligner.align_sam(read, name, quality)
+        return seed_batch(engine, reads, params)
+    stats = KernelBatchStats(len(reads))
+    results = seed_batch(engine, reads, params, stats=stats)
+    shares = stats.wall_shares(telemetry.probe_ms(probe)).tolist()
+
+    def make_counters(i: int) -> "dict[str, int]":
+        counters = stats.read_counters(i)
+        all_seeds = results[i].all_seeds
+        counters["seeds"] = len(all_seeds)
+        counters["seed_hits"] = sum(s.hit_count for s in all_seeds)
+        return counters
+
+    telemetry.record_reads(probe, list(names), shares, make_counters,
+                           task="seed", kernels="vector")
+    return results
+
+
+def instrumented_align_sam(aligner: ReadAligner, read: Any, name: str,
+                           quality: str,
+                           seeding: Any = None,
+                           seed_counters: "dict[str, int] | None" = None,
+                           seed_ms: float = 0.0) -> SamRecord:
+    """``ReadAligner.align_sam`` plus per-read exemplar capture (engine
+    deltas + the aligner's per-read extension stats: SW cells, seeds,
+    chains).
+
+    The vector path injects its precomputed ``seeding`` result together
+    with that read's kernel-counter column and wall-time share from the
+    batched seeding sweep (``seed_counters``/``seed_ms``); the exemplar
+    then covers seed+extend exactly like a scalar one and is tagged
+    ``kernels="vector"`` so ``ert-repro explain`` replays it through the
+    vector kernels.
+    """
+    probe = telemetry.read_probe()
+    if probe is None:
+        return aligner.align_sam(read, name, quality, seeding=seeding)
     before = aligner.engine.stats.as_dict()
-    record = aligner.align_sam(read, name, quality)
+    record = aligner.align_sam(read, name, quality, seeding=seeding)
     counters = _read_counter_delta(aligner.engine, before)
     counters.update(aligner.read_stats)
-    telemetry.record_read(probe, name, counters, task="align")
+    if seed_counters is None:
+        telemetry.record_read(probe, name, counters, task="align")
+    else:
+        counters.update(seed_counters)
+        telemetry.record_read(probe, name, counters, task="align",
+                              wall_ms=telemetry.probe_ms(probe) + seed_ms,
+                              kernels="vector")
     return record
 
 
 def instrumented_align_pair(paired: PairedAligner, read1: Any, read2: Any,
                             name: str, quality1: str,
-                            quality2: str) -> "list[SamRecord]":
+                            quality2: str,
+                            seeding1: Any = None, seeding2: Any = None,
+                            seed_counters: "dict[str, int] | None" = None,
+                            seed_ms: float = 0.0) -> "list[SamRecord]":
     """``PairedAligner.align_pair`` plus one exemplar per *pair* (the
-    scheduling unit of the paired path)."""
+    scheduling unit of the paired path).  Vector-path parameters mirror
+    :func:`instrumented_align_sam`, with ``seed_counters``/``seed_ms``
+    already merged/summed over both mates."""
     probe = telemetry.read_probe()
     if probe is None:
-        return paired.align_pair(read1, read2, name, quality1, quality2)
+        return paired.align_pair(read1, read2, name, quality1, quality2,
+                                 seeding1=seeding1, seeding2=seeding2)
     engine = paired.aligner.engine
     before = engine.stats.as_dict()
-    records = paired.align_pair(read1, read2, name, quality1, quality2)
+    records = paired.align_pair(read1, read2, name, quality1, quality2,
+                                seeding1=seeding1, seeding2=seeding2)
     counters = _read_counter_delta(engine, before)
-    telemetry.record_read(probe, name, counters, task="align-pe")
+    if seed_counters is None:
+        telemetry.record_read(probe, name, counters, task="align-pe")
+    else:
+        counters.update(seed_counters)
+        telemetry.record_read(probe, name, counters, task="align-pe",
+                              wall_ms=telemetry.probe_ms(probe) + seed_ms,
+                              kernels="vector")
     return records
 
 
@@ -255,16 +323,24 @@ class _SeedRunner:
         reads = batch.reads()
         engine.begin_batch(reads)
         lines: "list[str]" = []
-        if self.vector and vector_ready(engine):
-            # Whole-batch vectorized walk; per-read results come back in
-            # input order, so the TSV stream is byte-identical.
-            for name, result in zip(batch.names,
-                                    seed_batch(engine, reads, self.params)):
-                for seed in result.all_seeds:
-                    hits = ",".join(str(h) for h in seed.hits)
-                    lines.append(f"{name}\t{seed.read_start}\t{seed.length}"
-                                 f"\t{seed.hit_count}\t{hits}\n")
-            return lines
+        if self.vector:
+            reason = vector_decline_reason(engine)
+            if reason is None:
+                # Whole-batch vectorized walk through the instrumented
+                # wrapper, so the exemplar reservoir/slowlog survive
+                # vector mode; per-read results come back in input
+                # order, so the TSV stream is byte-identical.
+                for name, result in zip(
+                        batch.names,
+                        instrumented_seed_batch(engine, batch.names,
+                                                reads, self.params)):
+                    for seed in result.all_seeds:
+                        hits = ",".join(str(h) for h in seed.hits)
+                        lines.append(
+                            f"{name}\t{seed.read_start}\t{seed.length}"
+                            f"\t{seed.hit_count}\t{hits}\n")
+                return lines
+            telemetry.count("kernels.fallback_scalar." + reason)
         for name, read in zip(batch.names, reads):
             result = instrumented_seed_read(engine, name, read,
                                             self.params)
@@ -291,17 +367,40 @@ class _AlignRunner:
         reads = batch.reads()
         engine = self.aligner.engine
         engine.begin_batch(reads)
-        if self.vector and vector_ready(engine):
-            # vector_ready implies no exemplar probe, so skipping the
-            # instrumented wrapper changes nothing observable.
+        if self.vector:
+            reason = vector_decline_reason(engine)
+            if reason is None:
+                return self._vector_batch(batch, reads)
+            telemetry.count("kernels.fallback_scalar." + reason)
+        return [instrumented_align_sam(self.aligner, read, name, quality)
+                for name, quality, read
+                in zip(batch.names, batch.qualities, reads)]
+
+    def _vector_batch(self, batch: ReadBatch,
+                      reads: "list[Any]") -> "list[SamRecord]":
+        """Batched seeding, then per-read extension through the
+        instrumented wrapper -- each exemplar merges the read's kernel
+        counters and seed wall-time share from the batch sweep, so the
+        slowlog covers seed+extend exactly like the scalar path."""
+        engine = self.aligner.engine
+        probe = telemetry.read_probe()
+        if probe is None:
             seeded = seed_batch(engine, reads, self.aligner.params)
             return [self.aligner.align_sam(read, name, quality,
                                            seeding=seeding)
                     for name, quality, read, seeding
                     in zip(batch.names, batch.qualities, reads, seeded)]
-        return [instrumented_align_sam(self.aligner, read, name, quality)
-                for name, quality, read
-                in zip(batch.names, batch.qualities, reads)]
+        stats = KernelBatchStats(len(reads))
+        seeded = seed_batch(engine, reads, self.aligner.params,
+                            stats=stats)
+        shares = stats.wall_shares(telemetry.probe_ms(probe))
+        return [instrumented_align_sam(
+                    self.aligner, read, name, quality, seeding=seeding,
+                    seed_counters=stats.read_counters(i),
+                    seed_ms=float(shares[i]))
+                for i, (name, quality, read, seeding)
+                in enumerate(zip(batch.names, batch.qualities, reads,
+                                 seeded))]
 
 
 class _AlignPairsRunner:
@@ -324,16 +423,43 @@ class _AlignPairsRunner:
         reads = batch.reads()
         engine = self.paired.aligner.engine
         engine.begin_batch(reads)
+        seeded: "list[Any] | None" = None
+        stats: "KernelBatchStats | None" = None
+        shares: Any = None
+        if self.vector:
+            reason = vector_decline_reason(engine)
+            if reason is None:
+                probe = telemetry.read_probe()
+                if probe is None:
+                    seeded = seed_batch(engine, reads,
+                                        self.paired.aligner.params)
+                else:
+                    stats = KernelBatchStats(len(reads))
+                    seeded = seed_batch(engine, reads,
+                                        self.paired.aligner.params,
+                                        stats=stats)
+                    shares = stats.wall_shares(telemetry.probe_ms(probe))
+            else:
+                telemetry.count("kernels.fallback_scalar." + reason)
         records: "list[SamRecord]" = []
-        seeded = (seed_batch(engine, reads, self.paired.aligner.params)
-                  if self.vector and vector_ready(engine) else None)
         for i in range(0, len(reads), 2):
             name = batch.names[i].split("/")[0]
             if seeded is not None:
-                records.extend(self.paired.align_pair(
-                    reads[i], reads[i + 1], name, batch.qualities[i],
-                    batch.qualities[i + 1], seeding1=seeded[i],
-                    seeding2=seeded[i + 1]))
+                # One exemplar per pair, so the pair's seed counters are
+                # the sum of both mates' accumulator columns.
+                merged: "dict[str, int] | None" = None
+                seed_ms = 0.0
+                if stats is not None:
+                    first = stats.read_counters(i)
+                    second = stats.read_counters(i + 1)
+                    merged = {key: first[key] + second[key]
+                              for key in first}
+                    seed_ms = float(shares[i] + shares[i + 1])
+                records.extend(instrumented_align_pair(
+                    self.paired, reads[i], reads[i + 1], name,
+                    batch.qualities[i], batch.qualities[i + 1],
+                    seeding1=seeded[i], seeding2=seeded[i + 1],
+                    seed_counters=merged, seed_ms=seed_ms))
                 continue
             records.extend(instrumented_align_pair(
                 self.paired, reads[i], reads[i + 1], name,

@@ -32,6 +32,8 @@ Typical use::
 
 from __future__ import annotations
 
+from bisect import bisect_left
+
 from repro.telemetry.events import TimelineRecorder, trace_document
 from repro.telemetry.exemplars import (
     READ_WALL_MS_EDGES,
@@ -49,6 +51,7 @@ from repro.telemetry.export import (
 from repro.telemetry.openmetrics import parse_openmetrics, render_openmetrics
 from repro.telemetry.metrics import (
     DEFAULT_EDGES,
+    FRACTION_EDGES,
     Counter,
     Gauge,
     Histogram,
@@ -63,6 +66,7 @@ __all__ = [
     "Counter",
     "DEFAULT_EDGES",
     "ExemplarCollector",
+    "FRACTION_EDGES",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
@@ -85,9 +89,13 @@ __all__ = [
     "load_snapshot",
     "merge_snapshot",
     "observe",
+    "observe_bucketed",
+    "observe_many",
     "parse_openmetrics",
+    "probe_ms",
     "read_probe",
     "record_read",
+    "record_reads",
     "recorder",
     "recording",
     "registry",
@@ -279,6 +287,26 @@ def observe(name: str, value: float,
         _registry.histogram(name, edges).observe(value)
 
 
+def observe_many(name: str, values: "object",
+                 edges: "tuple[float, ...] | None" = None) -> None:
+    """Record every value of an iterable into histogram ``name`` in one
+    call -- the batch-flush path for per-lane accumulator columns (the
+    vector kernels hand whole ndarrays here at span boundaries)."""
+    if _enabled:
+        _registry.histogram(name, edges).observe_many(values)
+
+
+def observe_bucketed(name: str, counts: "list[int]", total: float,
+                     lo: float, hi: float,
+                     edges: "tuple[float, ...] | None" = None) -> None:
+    """Fold pre-bucketed observations into histogram ``name`` -- the
+    batch-flush fast path for producers that bucket whole accumulator
+    columns themselves (see :meth:`Histogram.observe_bucketed`)."""
+    if _enabled:
+        _registry.histogram(name, edges).observe_bucketed(counts, total,
+                                                          lo, hi)
+
+
 def read_probe() -> "int | None":
     """Open a per-read exemplar probe: returns a clock token to pass to
     :func:`record_read`, or ``None`` while telemetry is disabled (the
@@ -289,21 +317,67 @@ def read_probe() -> "int | None":
     return _exemplars.start()
 
 
+def probe_ms(token: "int | None") -> float:
+    """Wall milliseconds elapsed on a :func:`read_probe` token (``0.0``
+    for a disabled probe).  Batch drivers read the probe once and split
+    the time across the batch's reads via the per-lane accumulators --
+    the raw clock stays confined to ``repro.telemetry`` (ERT003)."""
+    if token is None:
+        return 0.0
+    return _exemplars.elapsed_ms(token)
+
+
 def record_read(token: "int | None", read_id: str,
                 counters: "dict[str, int] | None" = None,
-                task: str = "seed") -> "dict | None":
+                task: str = "seed",
+                wall_ms: "float | None" = None,
+                kernels: "str | None" = None) -> "dict | None":
     """Close a :func:`read_probe`: capture the read's exemplar record
     (reservoir + slowlog), observe its wall time into the
     ``read.wall_ms`` histogram, and pin the record to that histogram
     bucket as an OpenMetrics exemplar.  Returns the record, or ``None``
-    when the probe was disabled."""
+    when the probe was disabled.
+
+    ``wall_ms`` overrides the probe-derived wall time (a batch driver
+    records many reads against one probe, passing each read's share);
+    ``kernels`` tags the record with the backend (``"vector"``) so
+    ``ert-repro explain`` replays it through the same path."""
     if token is None or not _enabled:
         return None
-    rec = _exemplars.record(read_id, token, counters, task=task)
+    rec = _exemplars.record(read_id, token, counters, task=task,
+                            wall_ms=wall_ms, kernels=kernels)
     hist = _registry.histogram("read.wall_ms", READ_WALL_MS_EDGES)
     hist.observe(rec["wall_ms"])
     hist.attach_exemplar(rec["wall_ms"], {"read_id": rec["read_id"]})
     return rec
+
+
+def record_reads(token: "int | None", read_ids: "list[str]",
+                 wall_ms: "list[float]", make_counters: "object",
+                 task: str = "seed",
+                 kernels: "str | None" = None) -> None:
+    """Batch form of :func:`record_read` for the vector kernel drivers:
+    one call captures exemplars for a whole batch against one probe.
+
+    Produces exactly the state per-read :func:`record_read` calls
+    would -- same reservoir membership (the RNG advances once per
+    offer), same slowlog, same ``read.wall_ms`` histogram and bucket
+    exemplars (latest read per bucket wins) -- but record dicts are
+    only materialized for kept reads, and ``make_counters(i)`` is only
+    invoked for those, which is what holds observed-vector overhead to
+    the kernel telemetry budget."""
+    if token is None or not _enabled:
+        return
+    _exemplars.record_batch(read_ids, wall_ms, make_counters,
+                            task=task, kernels=kernels)
+    hist = _registry.histogram("read.wall_ms", READ_WALL_MS_EDGES)
+    hist.observe_many(wall_ms)
+    last_per_bucket: "dict[int, int]" = {}
+    edges = hist.edges
+    for i, wall in enumerate(wall_ms):
+        last_per_bucket[bisect_left(edges, wall)] = i
+    for i in last_per_bucket.values():
+        hist.attach_exemplar(wall_ms[i], {"read_id": read_ids[i]})
 
 
 def snapshot() -> dict:

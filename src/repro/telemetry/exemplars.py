@@ -89,21 +89,95 @@ class ExemplarCollector:
         """Begin timing one read; pass the token to :meth:`record`."""
         return time.perf_counter_ns()
 
+    def elapsed_ms(self, started_ns: int) -> float:
+        """Wall milliseconds since :meth:`start` returned ``started_ns``.
+
+        Batch drivers use this to apportion one batch-level probe across
+        the reads of the batch (the per-lane accumulators supply the
+        weights); the raw clock read stays inside ``repro.telemetry``
+        per rule ERT003."""
+        return (time.perf_counter_ns() - started_ns) / 1e6
+
     def record(self, read_id: str, started_ns: int,
                counters: "dict[str, int] | None" = None,
-               task: str = "seed") -> dict:
+               task: str = "seed",
+               wall_ms: "float | None" = None,
+               kernels: "str | None" = None) -> dict:
         """Close the probe opened by :meth:`start` and capture the
-        read's record (returned, whether or not it was sampled)."""
-        wall_ms = (time.perf_counter_ns() - started_ns) / 1e6
+        read's record (returned, whether or not it was sampled).
+
+        ``wall_ms`` overrides the probe-derived wall time -- batch
+        drivers pass each read's share of the batch probe.  ``kernels``
+        tags the record with the backend that produced it (``"vector"``);
+        scalar records omit the field, so ``ert-repro explain`` treats a
+        missing tag as scalar."""
+        if wall_ms is None:
+            wall_ms = self.elapsed_ms(started_ns)
         rec = {"read_id": str(read_id), "task": task,
                "wall_ms": wall_ms,
                "counters": {name: value
                             for name, value in (counters or {}).items()
                             if value}}
+        if kernels is not None:
+            rec["kernels"] = kernels
         self.count += 1
         self._offer_reservoir(rec)
         self._offer_slow(rec)
         return rec
+
+    def record_batch(self, read_ids: "list[str]",
+                     wall_ms: "list[float]",
+                     make_counters: "object",
+                     task: str = "seed",
+                     kernels: "str | None" = None) -> None:
+        """Offer a whole batch of reads, materializing a record only for
+        the reads that are actually kept.
+
+        Equivalent to calling :meth:`record` once per read -- the
+        reservoir RNG, the slowlog heap and the sequence counter advance
+        exactly as per-read offers would, so the kept sample is
+        bit-identical -- but a read that lands in neither sink costs a
+        few integer operations instead of a dict build.  That is what
+        keeps vector exemplar capture inside the kernel telemetry
+        budget: the batch driver offers every read, yet only ~reservoir
+        + slowlog many records are ever constructed.
+
+        ``make_counters(i)`` is called lazily for kept read ``i`` and
+        returns its counter dict (zero values are stripped here, like
+        :meth:`record`).
+        """
+        cap = self.reservoir_size
+        for i, read_id in enumerate(read_ids):
+            self.count += 1
+            self._offered += 1
+            slot = len(self.reservoir)
+            if slot >= cap:
+                slot = self._rng.randrange(self._offered)
+            wall = wall_ms[i]
+            slow = (len(self._slow) < self.top_k
+                    or wall > self._slow[0][0])
+            if slot >= cap and not slow:
+                self._seq += 1
+                continue
+            rec = {"read_id": str(read_id), "task": task,
+                   "wall_ms": wall,
+                   "counters": {name: value
+                                for name, value in make_counters(i).items()
+                                if value}}
+            if kernels is not None:
+                rec["kernels"] = kernels
+            if slot < cap:
+                if slot == len(self.reservoir):
+                    self.reservoir.append(rec)
+                else:
+                    self.reservoir[slot] = rec
+            if slow:
+                entry = (wall, self._seq, rec)
+                if len(self._slow) < self.top_k:
+                    heapq.heappush(self._slow, entry)
+                else:
+                    heapq.heapreplace(self._slow, entry)
+            self._seq += 1
 
     def _offer_reservoir(self, rec: dict) -> None:
         """Algorithm R over the stream of offered records.  The RNG is

@@ -27,6 +27,12 @@ from bisect import bisect_left
 DEFAULT_EDGES = (1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000,
                  10000)
 
+#: Bucket edges for [0, 1] fractions (lane occupancy, wavefront fill):
+#: deciles, with extra resolution near full occupancy where the batched
+#: kernels are expected to live.
+FRACTION_EDGES = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95,
+                  0.99, 1.0)
+
 
 class Counter:
     """A monotonically increasing integer total."""
@@ -89,6 +95,46 @@ class Histogram:
             self.min = value
         if self.max is None or value > self.max:
             self.max = value
+
+    def observe_many(self, values: "object") -> None:
+        """Observe every value in ``values`` (any iterable of numbers).
+
+        This is the batch-flush path for the vector kernels: the sweep
+        accumulates per-lane quantities in plain ndarrays and the driver
+        lands the whole column in one call, so the hot loops never touch
+        the registry (rules ERT007/ERT017)."""
+        for value in values:
+            self.observe(float(value))
+
+    def observe_bucketed(self, counts: "list[int]", total: float,
+                         lo: float, hi: float) -> None:
+        """Fold pre-bucketed observations in: ``counts[i]`` observations
+        landed in bucket ``i`` of this ladder, summing to ``total`` with
+        extremes ``lo``/``hi``.
+
+        This is the batch-flush fast path for numpy-native producers
+        (the vector kernels): they bucket a whole accumulator column
+        with ``searchsorted`` -- the same ``bisect_left`` semantics as
+        :meth:`observe` -- and hand plain lists here, so the registry
+        pays O(buckets) per batch instead of O(values) while this
+        module stays dependency-free."""
+        if len(counts) != len(self.counts):
+            raise ValueError(
+                f"bucketed counts length {len(counts)} does not match "
+                f"this histogram's {len(self.counts)} buckets")
+        observed = 0
+        for i, c in enumerate(counts):
+            if c:
+                self.counts[i] += c
+                observed += c
+        if not observed:
+            return
+        self.count += observed
+        self.total += total
+        if self.min is None or lo < self.min:
+            self.min = lo
+        if self.max is None or hi > self.max:
+            self.max = hi
 
     def attach_exemplar(self, value: float,
                         labels: "dict[str, str]") -> None:

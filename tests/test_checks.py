@@ -31,7 +31,7 @@ FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures", "checks")
 REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 RULE_IDS = ("ERT001", "ERT002", "ERT003", "ERT004", "ERT005", "ERT006",
             "ERT007", "ERT008", "ERT009", "ERT010", "ERT011", "ERT012",
-            "ERT013", "ERT014", "ERT015", "ERT016")
+            "ERT013", "ERT014", "ERT015", "ERT016", "ERT017")
 #: Rules that run in the whole-program pass (ProjectRule subclasses).
 PROJECT_RULE_IDS = ("ERT012", "ERT013", "ERT014", "ERT015", "ERT016")
 
@@ -567,3 +567,23 @@ def test_ert013_repo_clean_without_pragmas():
             allowed |= set(rules)
         assert "ERT013" not in allowed, \
             f"# repro: allow(ERT013) pragma reintroduced in {path}"
+
+
+def test_ert017_repo_clean_without_pragmas():
+    """ERT017 (per-element telemetry in kernel loops) holds across the
+    vector kernels with zero suppressions: every sweep counts into
+    :class:`repro.kernels.stats.KernelBatchStats` and flushes once per
+    batch, so neither a fresh in-loop telemetry call nor an
+    ``allow(ERT017)`` pragma may land."""
+    src = os.path.join(REPO, "src", "repro")
+    report = run_checks([src])
+    ert017 = [v for v in report.violations if v.rule == "ERT017"]
+    assert not ert017, "\n".join(v.format() for v in ert017)
+    for path in iter_python_files([src]):
+        with open(path) as handle:
+            pragmas = parse_pragmas(handle.read())
+        allowed = set(pragmas.file_allows)
+        for rules in pragmas.line_allows.values():
+            allowed |= set(rules)
+        assert "ERT017" not in allowed, \
+            f"# repro: allow(ERT017) pragma reintroduced in {path}"

@@ -166,3 +166,36 @@ def test_histogram_as_dict_reports_p999():
     hist = telemetry.snapshot()["histograms"]["h"]
     assert "p99.9" in hist
     assert hist["p99"] <= hist["p99.9"] <= hist["max"]
+
+
+def test_record_reads_bulk_matches_per_read_capture():
+    """The vector drivers' bulk offer path (`record_reads`) must leave
+    the collector and the wall-time histogram in exactly the state 500
+    individual `record_read` calls would: same reservoir membership
+    (the RNG advances once per offer either way), same slowlog, same
+    bucket exemplars (latest read per bucket wins)."""
+    import random
+
+    ids = [f"r{i}" for i in range(500)]
+    rng = random.Random(3)
+    walls = [rng.random() * 30 for _ in ids]
+    rows = [{"kernels.walk_steps": i % 7, "seeds": i % 3}
+            for i in range(500)]
+
+    telemetry.enable()
+    probe = telemetry.read_probe()
+    for i, read_id in enumerate(ids):
+        telemetry.record_read(probe, read_id, rows[i], task="seed",
+                              wall_ms=walls[i], kernels="vector")
+    per_read = telemetry.snapshot()
+    telemetry.reset()
+    telemetry.enable()
+    probe = telemetry.read_probe()
+    telemetry.record_reads(probe, ids, walls,
+                           lambda i: dict(rows[i]),
+                           task="seed", kernels="vector")
+    bulk = telemetry.snapshot()
+    assert bulk["exemplars"]["reservoir"] == per_read["exemplars"]["reservoir"]
+    assert bulk["exemplars"]["slowest"] == per_read["exemplars"]["slowest"]
+    assert bulk["exemplars"]["count"] == per_read["exemplars"]["count"]
+    assert bulk["histograms"] == per_read["histograms"]

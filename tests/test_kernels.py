@@ -27,6 +27,7 @@ from repro.kernels import (
     batched_sw_traceback,
     resolve_kernels,
     seed_batch,
+    vector_decline_reason,
     vector_ready,
 )
 from repro.memsim.trace import MemoryTracer
@@ -112,28 +113,65 @@ def test_seed_batch_matches_scalar_under_tight_hit_cap(ert_index, reference,
     assert vector_engine.stats.truncated_hit_lists > 0
 
 
-def test_vector_ready_gates(ert_index, ert):
+def test_vector_ready_gates(ert_index, ert, fmd):
     engine = ErtSeedingEngine(ert_index)
     assert vector_ready(engine)
+    assert vector_decline_reason(engine) is None
+    # Telemetry is deliberately NOT a decline reason any more: the
+    # vector path runs fully observed through batch-flushed
+    # accumulators, so the old telemetry.enabled() escape hatch is gone.
     telemetry.reset()
     telemetry.enable()
     try:
-        assert not vector_ready(engine)
+        assert vector_ready(engine)
+        assert vector_decline_reason(engine) is None
     finally:
         telemetry.disable()
+        telemetry.reset()
+    # The remaining gates (per-access instrumentation that needs the
+    # scalar cursor) still decline, each with its fallback-counter label.
     tracer = MemoryTracer()
     ert_index.attach_tracer(tracer)
     try:
         assert not vector_ready(engine)
+        assert vector_decline_reason(engine) == "tracer"
     finally:
         ert_index.attach_tracer(None)
     assert vector_ready(engine)
+    assert vector_decline_reason(fmd) == "engine"
+    assert not vector_ready(fmd)
 
 
 def test_seed_batch_falls_back_when_ineligible(ert_index, read_codes,
                                                params):
-    """With telemetry live the batch entry point must still return the
-    scalar results (it silently takes the per-read loop)."""
+    """An ineligible engine (memsim tracer attached) silently takes the
+    per-read scalar loop and counts the decline; the batch entry point
+    still returns the scalar results."""
+    engine = ErtSeedingEngine(ert_index)
+    oracle = [seed_read(ErtSeedingEngine(ert_index), r, params)
+              for r in read_codes]
+    tracer = MemoryTracer()
+    ert_index.attach_tracer(tracer)
+    telemetry.reset()
+    telemetry.enable()
+    try:
+        results = seed_batch(engine, read_codes, params)
+        counters = telemetry.snapshot()["counters"]
+    finally:
+        ert_index.attach_tracer(None)
+        telemetry.disable()
+        telemetry.reset()
+    for a, b in zip(oracle, results):
+        assert _seed_key(a) == _seed_key(b)
+    assert counters["kernels.fallback_scalar.tracer"] == 1
+    assert "kernels.batches" not in counters
+
+
+def test_seed_batch_runs_vector_with_telemetry_live(ert_index, read_codes,
+                                                    params):
+    """With telemetry live the batch entry point takes the *vector*
+    path (one kernels.batch flush), and the results still match the
+    scalar oracle -- the byte-identity contract holds observed."""
     engine = ErtSeedingEngine(ert_index)
     oracle = [seed_read(ErtSeedingEngine(ert_index), r, params)
               for r in read_codes]
@@ -141,10 +179,17 @@ def test_seed_batch_falls_back_when_ineligible(ert_index, read_codes,
     telemetry.enable()
     try:
         results = seed_batch(engine, read_codes, params)
+        counters = telemetry.snapshot()["counters"]
     finally:
         telemetry.disable()
+        telemetry.reset()
     for a, b in zip(oracle, results):
         assert _seed_key(a) == _seed_key(b)
+    assert counters["kernels.batches"] == 1
+    assert counters["kernels.reads"] == len(read_codes)
+    assert counters["kernels.walk_steps"] > 0
+    assert counters["seeding.reads"] == len(read_codes)
+    assert "kernels.fallback_scalar.tracer" not in counters
 
 
 def test_resolve_kernels(monkeypatch):
@@ -193,6 +238,145 @@ def test_align_pairs_identical_vector_three_workers(ert_index, reads,
                          config=ParallelConfig(workers=3, batch_size=4,
                                                kernels="vector"))
     assert vec == base
+
+
+# ----------------------------------------------------------------------
+# Observed-vector equivalence: identity and counters with telemetry on
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("start_method", [None, "spawn"])
+def test_observed_vector_seed_identity_any_start_method(
+        ert_index, reads, params, start_method):
+    """Seeds stay byte-identical to scalar when the vector run is fully
+    observed (metrics + exemplars) at three workers, under both start
+    methods, and every captured exemplar carries the vector tag."""
+    base_lines, _ = seed_reads(ert_index, reads, params,
+                               config=ParallelConfig(workers=1))
+    telemetry.reset()
+    telemetry.enable()
+    try:
+        lines, _ = seed_reads(
+            ert_index, reads, params,
+            config=ParallelConfig(workers=3, batch_size=7,
+                                  kernels="vector",
+                                  start_method=start_method))
+        snap = telemetry.snapshot()
+    finally:
+        telemetry.disable()
+        telemetry.reset()
+    assert lines == base_lines
+    exemplars = snap["exemplars"]
+    assert exemplars["count"] == len(reads)
+    assert exemplars["slowest"], "slowlog empty under vector kernels"
+    for rec in exemplars["reservoir"] + exemplars["slowest"]:
+        assert rec.get("kernels") == "vector"
+        assert rec["wall_ms"] >= 0.0
+    assert snap["counters"]["kernels.reads"] == len(reads)
+    assert snap["counters"]["kernels.walk_steps"] > 0
+    assert snap["histograms"]["read.wall_ms"]["count"] == len(reads)
+
+
+def test_observed_vector_align_identity_three_workers(ert_index, reads,
+                                                      params):
+    base, _ = align_reads(ert_index, reads, params,
+                          config=ParallelConfig(workers=1))
+    telemetry.reset()
+    telemetry.enable()
+    try:
+        vec, _ = align_reads(ert_index, reads, params,
+                             config=ParallelConfig(workers=3, batch_size=7,
+                                                   kernels="vector"))
+        snap = telemetry.snapshot()
+    finally:
+        telemetry.disable()
+        telemetry.reset()
+    assert vec == base
+    exemplars = snap["exemplars"]
+    assert exemplars["count"] == len(reads)
+    assert all(rec.get("kernels") == "vector"
+               for rec in exemplars["reservoir"])
+    # Align exemplars fold the seed-stage counters in alongside the
+    # alignment counters.
+    assert any("kernels.walk_steps" in rec["counters"]
+               for rec in exemplars["reservoir"])
+    assert any("sw_cells" in rec["counters"]
+               for rec in exemplars["reservoir"])
+
+
+def test_observed_vector_pairs_identity_three_workers(ert_index, reads,
+                                                      params):
+    paired = reads[:len(reads) - len(reads) % 2]
+    base, _ = align_pairs(ert_index, paired, params,
+                          config=ParallelConfig(workers=1))
+    telemetry.reset()
+    telemetry.enable()
+    try:
+        vec, _ = align_pairs(ert_index, paired, params,
+                             config=ParallelConfig(workers=3, batch_size=4,
+                                                   kernels="vector"))
+        snap = telemetry.snapshot()
+    finally:
+        telemetry.disable()
+        telemetry.reset()
+    assert vec == base
+    exemplars = snap["exemplars"]
+    assert exemplars["count"] == len(paired) // 2
+    assert all(rec.get("kernels") == "vector"
+               for rec in exemplars["reservoir"])
+
+
+def test_vector_counter_totals_match_exemplar_columns(ert_index, reference,
+                                                      params):
+    """Registry totals equal the sum of the per-read exemplar counters.
+
+    ``PER_READ_COUNTERS`` makes this hold by construction -- the flush
+    sums the same arrays the exemplar rows are sliced from -- and this
+    test pins it on a fuzzed corpus small enough (48 < the reservoir's
+    64) that every read's exemplar is retained.  Zero-valued counters
+    are stripped from exemplar records, hence the ``.get(..., 0)``.
+    """
+    from repro.kernels.stats import PER_READ_COUNTERS
+    from repro.parallel.scheduler import instrumented_seed_batch
+
+    rng = np.random.default_rng(99)
+    fuzz = _fuzz_reads(reference, rng, 48)
+    names = [f"f{i}" for i in range(len(fuzz))]
+    engine = ErtSeedingEngine(ert_index)
+    telemetry.reset()
+    telemetry.enable()
+    try:
+        instrumented_seed_batch(engine, names, fuzz, params)
+        snap = telemetry.snapshot()
+    finally:
+        telemetry.disable()
+        telemetry.reset()
+    recs = {rec["read_id"]: rec
+            for rec in snap["exemplars"]["reservoir"]}
+    assert len(recs) == len(fuzz)
+    for name, _ in PER_READ_COUNTERS:
+        total = sum(rec["counters"].get(name, 0) for rec in recs.values())
+        assert snap["counters"].get(name, 0) == total, name
+    assert snap["counters"]["kernels.walk_steps"] > 0
+
+    # Batch-composition invariance: replaying a read alone (B=1, what
+    # `ert-repro explain` does) reproduces its counter column exactly.
+    for i in (0, 7, 23, 41):
+        single = ErtSeedingEngine(ert_index)
+        telemetry.reset()
+        telemetry.enable()
+        try:
+            instrumented_seed_batch(single, [names[i]], [fuzz[i]], params)
+            alone = telemetry.snapshot()["exemplars"]["reservoir"][0]
+        finally:
+            telemetry.disable()
+            telemetry.reset()
+        kernel_cols = {name for name, _ in PER_READ_COUNTERS}
+        want = {k: v for k, v in recs[names[i]]["counters"].items()
+                if k in kernel_cols}
+        got = {k: v for k, v in alone["counters"].items()
+               if k in kernel_cols}
+        assert got == want, names[i]
 
 
 # ----------------------------------------------------------------------

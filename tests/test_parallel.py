@@ -18,6 +18,7 @@ from repro.analysis.datavol import measure_traffic
 from repro.core import ErtConfig, ErtSeedingEngine, build_ert
 from repro.core.io import index_to_buffer
 from repro.core.serialize import trees_equal
+from repro.kernels import resolve_kernels
 from repro.parallel import (
     ParallelConfig,
     SharedIndexBuffer,
@@ -129,10 +130,22 @@ def test_pool_telemetry_matches_serial_counters(ert_index, read_set,
     finally:
         telemetry.disable()
         telemetry.reset()
-    assert merged["counters"] == expected["counters"]
+    # Under the vector backend the batch-shaped quantities legitimately
+    # differ: 60 reads are one serial seed_batch but four pooled ones,
+    # so batch/dispatch tallies and the per-batch span counts scale
+    # with the batching while every per-read counter stays invariant.
+    batch_shaped = ({"kernels.batches", "kernels.wave_rounds"}
+                    if resolve_kernels() == "vector" else set())
+
+    def per_read(counters):
+        return {name: value for name, value in counters.items()
+                if name not in batch_shaped}
+
+    assert per_read(merged["counters"]) == per_read(expected["counters"])
     assert sorted(merged["spans"]) == sorted(expected["spans"])
-    for path, stat in expected["spans"].items():
-        assert merged["spans"][path]["count"] == stat["count"]
+    if not batch_shaped:
+        for path, stat in expected["spans"].items():
+            assert merged["spans"][path]["count"] == stat["count"]
 
 
 # ----------------------------------------------------------------------
